@@ -1,0 +1,101 @@
+// Command rasc-node runs a live RASC node over TCP: it joins (or starts)
+// an overlay, announces its services, and serves discovery, monitoring,
+// instantiation and streaming to its peers. With -submit it additionally
+// composes and runs a request once joined, printing delivery statistics
+// every few seconds.
+//
+// Start a ring on one terminal and join it from others:
+//
+//	rasc-node -listen 127.0.0.1:4000 -services filter,encrypt
+//	rasc-node -listen 127.0.0.1:4001 -bootstrap 127.0.0.1:4000 -services transcode
+//	rasc-node -listen 127.0.0.1:4002 -bootstrap 127.0.0.1:4000 \
+//	    -submit filter,transcode -rate 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rasc.dev/rasc/internal/live"
+	"rasc.dev/rasc/internal/spec"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		bootstrap = flag.String("bootstrap", "", "existing node to join through (empty: start a new overlay)")
+		name      = flag.String("name", "", "node name (seeds the overlay ID)")
+		svcList   = flag.String("services", "", "comma-separated services to announce")
+		submit    = flag.String("submit", "", "service chain to compose once joined (e.g. filter,transcode)")
+		composer  = flag.String("composer", "mincost", "composer for -submit")
+		rateKbps  = flag.Int("rate", 100, "requested rate in Kbps for -submit")
+		unit      = flag.Int("unit", 1250, "data unit size in bytes")
+		udp       = flag.Bool("udp", false, "send stream data over UDP (control stays on TCP)")
+	)
+	flag.Parse()
+
+	var services []string
+	if *svcList != "" {
+		services = strings.Split(*svcList, ",")
+	}
+	node, err := live.Start(live.Config{
+		Listen:    *listen,
+		Name:      *name,
+		Bootstrap: *bootstrap,
+		Services:  services,
+		UDPData:   *udp,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("node up at %s", node.Addr())
+	if len(services) > 0 {
+		fmt.Printf(" offering %v", services)
+	}
+	fmt.Println()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *submit != "" {
+		chain := strings.Split(*submit, ",")
+		rateUnits := *rateKbps * 1000 / (*unit * 8)
+		if rateUnits < 1 {
+			rateUnits = 1
+		}
+		req := spec.Request{
+			ID:         fmt.Sprintf("cli-%d", time.Now().Unix()),
+			UnitBytes:  *unit,
+			Substreams: []spec.Substream{{Services: chain, Rate: rateUnits}},
+		}
+		graph, err := node.Submit(req, *composer, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("composed %v onto %d placement(s):\n", chain, len(graph.Placements))
+		for _, p := range graph.Placements {
+			fmt.Printf("  stage %d %-12s -> %s (%.0f units/sec)\n", p.Stage, p.Service, p.Host.Addr, p.Rate)
+		}
+		ticker := time.NewTicker(3 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s := node.Stats(req.ID, 0)
+				fmt.Printf("emitted=%d delivered=%d delay=%v jitter=%v\n",
+					s.Emitted, s.Received, s.MeanDelay.Round(time.Millisecond), s.MeanJitter.Round(time.Millisecond))
+			case <-stop:
+				return
+			}
+		}
+	}
+	<-stop
+}

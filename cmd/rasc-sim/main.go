@@ -1,0 +1,141 @@
+// Command rasc-sim composes and runs one stream-processing request on a
+// simulated RASC deployment and reports the composition and delivery
+// statistics.
+//
+// Example:
+//
+//	rasc-sim -nodes 32 -seed 7 -composer mincost -services filter,transcode -rate 100 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rasc.dev/rasc"
+	"rasc.dev/rasc/internal/trace"
+	"rasc.dev/rasc/internal/workload"
+)
+
+// replayWorkload submits every request of a saved workload file from
+// round-robin origins and prints per-request plus aggregate results.
+func replayWorkload(sys *rasc.System, path, composer string, duration time.Duration) {
+	reqs, err := workload.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replaying %d requests from %s via %s\n", len(reqs), path, composer)
+	type liveReq struct {
+		comp *rasc.Composition
+		id   string
+	}
+	var live []liveReq
+	for i, req := range reqs {
+		origin := i % sys.Nodes()
+		comp, err := sys.Submit(origin, req, composer)
+		if err != nil {
+			fmt.Printf("  %-10s rejected: %v\n", req.ID, err)
+			continue
+		}
+		fmt.Printf("  %-10s composed onto %d hosts\n", req.ID, comp.NumHosts())
+		live = append(live, liveReq{comp: comp, id: req.ID})
+		sys.Run(400 * time.Millisecond)
+	}
+	sys.Run(duration)
+	var agg rasc.DeliveryStats
+	for _, lr := range live {
+		s := lr.comp.Stats()
+		agg.Emitted += s.Emitted
+		agg.Received += s.Received
+		agg.Timely += s.Timely
+		agg.OutOfOrder += s.OutOfOrder
+		fmt.Printf("  %-10s delivered %.1f%% (delay %v)\n",
+			lr.id, 100*s.DeliveredFraction(), s.MeanDelay.Round(time.Millisecond))
+	}
+	fmt.Printf("\naggregate: composed %d/%d, delivered %.1f%%, timely %.1f%%\n",
+		len(live), len(reqs), 100*agg.DeliveredFraction(), 100*agg.TimelyFraction())
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 32, "deployment size")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		composer = flag.String("composer", "mincost", "composer: mincost|mincost-nosplit|greedy|random|lp")
+		svcList  = flag.String("services", "filter,transcode", "comma-separated service chain")
+		rateKbps = flag.Int("rate", 100, "requested rate in Kbps")
+		duration = flag.Duration("duration", 30*time.Second, "virtual streaming time")
+		origin   = flag.Int("origin", 0, "origin node index")
+		unit     = flag.Int("unit", 1250, "data unit size in bytes")
+		traceOn  = flag.Bool("trace", false, "trace per-unit events and print a sample timeline")
+		workFile = flag.String("workload", "", "replay a JSON workload file instead of a single request")
+		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
+	)
+	flag.Parse()
+
+	sys := rasc.NewSimulated(rasc.Options{Nodes: *nodes, Seed: *seed})
+	var buf *rasc.TraceBuffer
+	if *traceOn {
+		buf = sys.EnableTracing(1_000_000)
+	}
+	if *workFile != "" {
+		replayWorkload(sys, *workFile, *composer, *duration)
+		return
+	}
+	chain := strings.Split(*svcList, ",")
+	rateUnits := *rateKbps * 1000 / (*unit * 8)
+	if rateUnits < 1 {
+		rateUnits = 1
+	}
+	req := rasc.Request{
+		ID:         "cli-request",
+		UnitBytes:  *unit,
+		Substreams: []rasc.Substream{{Services: chain, Rate: rateUnits}},
+	}
+	fmt.Printf("submitting %v at %d Kbps (%d units/sec) via %s from node %d\n",
+		chain, *rateKbps, rateUnits, *composer, *origin)
+	comp, err := sys.Submit(*origin, req, *composer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "composition failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(comp.Graph.DOT()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote execution graph to %s\n", *dotOut)
+	}
+	fmt.Printf("\ncomposed onto %d hosts:\n", comp.NumHosts())
+	for _, p := range comp.Placements() {
+		fmt.Printf("  substream %d stage %d %-12s -> %s (%.0f units/sec)\n",
+			p.Substream, p.Stage, p.Service, p.Host.Addr, p.Rate)
+	}
+	sys.Run(*duration)
+	s := comp.Stats()
+	fmt.Printf("\nafter %v of streaming:\n", *duration)
+	fmt.Printf("  emitted      %d units\n", s.Emitted)
+	fmt.Printf("  delivered    %d units (%.1f%%)\n", s.Received, 100*s.DeliveredFraction())
+	fmt.Printf("  timely       %.1f%% of delivered\n", 100*s.TimelyFraction())
+	fmt.Printf("  out of order %d units\n", s.OutOfOrder)
+	fmt.Printf("  mean delay   %v\n", s.MeanDelay.Round(time.Millisecond))
+	fmt.Printf("  mean jitter  %v\n", s.MeanJitter.Round(time.Millisecond))
+
+	if buf != nil {
+		fmt.Printf("\ntrace: %d events recorded\n", buf.Total())
+		fmt.Println("\nper-hop latency (substream 0):")
+		for _, sl := range buf.StageLatencies(req.ID, 0) {
+			fmt.Printf("  -> stage %d: %v mean over %d units\n", sl.Stage, sl.Mean.Round(time.Millisecond), sl.Count)
+		}
+		if drops := buf.DropsByCause(); len(drops) > 0 {
+			fmt.Println("\ndrops by cause:")
+			for cause, n := range drops {
+				fmt.Printf("  %-10s %d\n", cause, n)
+			}
+		}
+		fmt.Println("\nsample unit timeline (seq 50):")
+		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
+	}
+}

@@ -1,0 +1,3 @@
+module rasc.dev/rasc
+
+go 1.22

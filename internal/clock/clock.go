@@ -1,0 +1,70 @@
+// Package clock abstracts time so protocol code (overlay maintenance, RPC
+// timeouts, monitoring windows) runs identically on the virtual clock of the
+// network simulator and on the wall clock of a live deployment.
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"rasc.dev/rasc/internal/netsim"
+)
+
+// Clock supplies the current time and one-shot timers.
+type Clock interface {
+	// Now returns time elapsed since an arbitrary fixed origin.
+	Now() time.Duration
+	// After runs fn once d has elapsed and returns a cancel function.
+	// Cancelling after the timer fired is a no-op.
+	After(d time.Duration, fn func()) (cancel func())
+}
+
+// Sim adapts a netsim.Simulator to the Clock interface. It must only be
+// used from within the simulator's event loop.
+type Sim struct {
+	S *netsim.Simulator
+}
+
+// Now returns the simulator's virtual time.
+func (c Sim) Now() time.Duration { return c.S.Now() }
+
+// After schedules fn on the simulator after d of virtual time.
+func (c Sim) After(d time.Duration, fn func()) func() {
+	cancelled := false
+	c.S.Schedule(d, func() {
+		if !cancelled {
+			fn()
+		}
+	})
+	return func() { cancelled = true }
+}
+
+// Real is a wall-clock implementation backed by the time package.
+// It is safe for concurrent use.
+type Real struct {
+	once   sync.Once
+	origin time.Time
+}
+
+// NewReal returns a wall clock whose origin is the moment of creation.
+func NewReal() *Real {
+	r := &Real{}
+	r.init()
+	return r
+}
+
+func (r *Real) init() {
+	r.once.Do(func() { r.origin = time.Now() })
+}
+
+// Now returns time elapsed since the clock was created.
+func (r *Real) Now() time.Duration {
+	r.init()
+	return time.Since(r.origin)
+}
+
+// After runs fn on its own goroutine once d has elapsed.
+func (r *Real) After(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}

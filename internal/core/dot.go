@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the execution graph in Graphviz dot format: one subgraph
+// per substream, nodes labelled with their service, host and assigned
+// rate, edges labelled with the rates they carry. Feed the output to
+// `dot -Tsvg` to visualize a composition.
+func (g *ExecutionGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Request.ID)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	fmt.Fprintf(&b, "  source [label=\"source\\n%s\", shape=ellipse];\n", g.Source.Addr)
+	fmt.Fprintf(&b, "  dest [label=\"destination\\n%s\", shape=ellipse];\n", g.Dest.Addr)
+
+	nodeID := func(substream, stage int, host string) string {
+		return fmt.Sprintf("n_%d_%d_%s", substream, stage, sanitize(host))
+	}
+	// Placement nodes, grouped by substream.
+	placements := append([]Placement(nil), g.Placements...)
+	sort.Slice(placements, func(i, j int) bool {
+		a, c := placements[i], placements[j]
+		if a.Substream != c.Substream {
+			return a.Substream < c.Substream
+		}
+		if a.Stage != c.Stage {
+			return a.Stage < c.Stage
+		}
+		return a.Host.ID.Cmp(c.Host.ID) < 0
+	})
+	current := -1
+	for _, p := range placements {
+		if p.Substream != current {
+			if current >= 0 {
+				b.WriteString("  }\n")
+			}
+			current = p.Substream
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n", current)
+			fmt.Fprintf(&b, "    label=\"substream %d\";\n", current)
+		}
+		fmt.Fprintf(&b, "    %s [label=\"%s\\n%s\\n%.0f u/s\"];\n",
+			nodeID(p.Substream, p.Stage, string(p.Host.Addr)), p.Service, p.Host.Addr, p.Rate)
+	}
+	if current >= 0 {
+		b.WriteString("  }\n")
+	}
+	// Edges.
+	for _, e := range g.Edges {
+		from := "source"
+		if e.FromStage >= 0 {
+			from = nodeID(e.Substream, e.FromStage, string(e.From.Addr))
+		}
+		to := "dest"
+		if e.ToStage < len(g.Request.Substreams[e.Substream].Services) {
+			to = nodeID(e.Substream, e.ToStage, string(e.To.Addr))
+		}
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%.0f u/s\", fontsize=9];\n", from, to, e.Rate)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sanitize turns an address into a dot-safe identifier fragment.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

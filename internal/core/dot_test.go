@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendering(t *testing.T) {
+	in := baseInput(req1(10, "filter", "transcode"))
+	in.Candidates["filter"] = []Candidate{cand(1, 1000*kbit, 0)}
+	in.Candidates["transcode"] = []Candidate{cand(2, 60*kbit, 0), cand(3, 60*kbit, 0)}
+	g, err := (&MinCost{}).Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph \"r1\"",
+		"source", "dest",
+		"subgraph cluster_0",
+		"filter", "transcode",
+		"->",
+		"u/s",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Every line with an arrow must be well-formed (no empty endpoints).
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "->") {
+			parts := strings.SplitN(strings.TrimSpace(line), " -> ", 2)
+			if len(parts) != 2 || parts[0] == "" || strings.HasPrefix(parts[1], " ") {
+				t.Fatalf("malformed edge line %q", line)
+			}
+		}
+	}
+	// Splitting produced two transcode nodes.
+	if strings.Count(dot, "transcode") < 2 {
+		t.Fatal("split placement missing from DOT output")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("sim://7"); got != "sim___7" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

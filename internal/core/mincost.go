@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"rasc.dev/rasc/internal/mincostflow"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/spec"
+)
+
+// costScale converts a drop ratio in [0,1] into an integer per-unit arc
+// cost.
+const costScale = 1_000_000
+
+// utilTieScale converts link utilization in [0,1] into a tie-breaking arc
+// cost three orders of magnitude below one drop-window granule (1/64 ≈
+// 15625 scaled), so it only matters between hosts with equal drop ratios.
+// Without it, the flow deterministically stacks every request onto the
+// lexicographically-first idle hosts until their measured availability
+// catches up, manufacturing hotspots the monitoring window is too slow to
+// prevent.
+const utilTieScale = 1_000
+
+// MinCost is RASC's composition algorithm (§3.5): for each substream, a
+// layered composition graph is built over the candidate hosts — one
+// capacity-bounded, drop-cost internal arc per component instance — and a
+// minimum-cost flow of r_req_l units is routed from the source to the
+// destination. The flow may split a service across several instances on
+// different nodes ("rate splitting"). Capacities are decremented between
+// substreams (Algorithm 1's update step).
+type MinCost struct {
+	// NoSplit restricts every stage to a single component instance (an
+	// ablation knob: RASC without rate splitting). Implemented by
+	// falling back to greedy-by-cost placement on the flow graph.
+	NoSplit bool
+	// UseCPU extends the capacity model beyond bandwidth with the CPU
+	// resource (the paper's future work on multiple resource
+	// constraints): a component's capacity on a host is the minimum of
+	// the host's bandwidth budget and its remaining CPU at the
+	// service's per-unit cost. Requires Input.Catalog and CPU-reporting
+	// hosts; hosts without CPU data fall back to bandwidth-only.
+	UseCPU bool
+	// Solver selects the min-cost flow algorithm: "ssp" (successive
+	// shortest paths, the default) or "scaling" (Goldberg's cost
+	// scaling, which the paper cites). Both produce optimal flows; they
+	// may differ in which of several equal-cost solutions they return.
+	Solver string
+	// BestEffortFraction, when positive, admits a substream at a reduced
+	// rate instead of rejecting it outright: if the achievable flow is
+	// at least this fraction of the requirement, the substream's rate in
+	// the returned graph is lowered to the achieved flow (the execution
+	// graph's Request reflects the adjusted rates). 0 keeps the paper's
+	// all-or-nothing admission.
+	BestEffortFraction float64
+}
+
+// solve runs the configured min-cost flow algorithm.
+func (m *MinCost) solve(fg *mincostflow.Graph, s, t int, want int64) (mincostflow.Result, error) {
+	if m.Solver == "scaling" {
+		return fg.MinCostFlowScaling(s, t, want)
+	}
+	return fg.MinCostFlow(s, t, want)
+}
+
+// Name implements Composer.
+func (m *MinCost) Name() string {
+	switch {
+	case m.NoSplit:
+		return "mincost-nosplit"
+	case m.UseCPU:
+		return "mincost-cpu"
+	case m.BestEffortFraction > 0:
+		return "mincost-besteffort"
+	}
+	return "mincost"
+}
+
+// Compose implements Composer.
+func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
+	if err := in.Request.Validate(); err != nil {
+		return nil, err
+	}
+	g := &ExecutionGraph{
+		Request:  in.Request,
+		Composer: m.Name(),
+		Source:   in.Source,
+		Dest:     in.Dest,
+	}
+	// Best-effort admission may lower substream rates in the returned
+	// graph; copy the slice so the caller's request stays untouched.
+	g.Request.Substreams = append([]spec.Substream(nil), in.Request.Substreams...)
+	caps := newCapTracker()
+	// Seed endpoint capacities. The source only transmits; the
+	// destination only receives — but we apply the paper's r_max(n)
+	// uniformly.
+	caps.seed(in.Source.ID, int(in.SourceReport.AvailOut()*in.headroom()/unitBits(in.Request)))
+	caps.seed(in.Dest.ID, int(in.DestReport.AvailIn()*in.headroom()/unitBits(in.Request)))
+	for _, cands := range in.Candidates {
+		for _, c := range cands {
+			caps.seed(c.Info.ID, maxRateUnits(c.Report, in))
+			if m.UseCPU {
+				caps.seedCPU(c.Info.ID, c.Report.SpeedFactor, c.Report.AvailCPU()*in.headroom())
+			}
+		}
+	}
+	for l := range in.Request.Substreams {
+		if err := m.composeSubstream(in, g, caps, l); err != nil {
+			return nil, fmt.Errorf("substream %d: %w", l, err)
+		}
+	}
+	return g, nil
+}
+
+// composeSubstream reduces substream l to a min-cost flow instance and
+// reads the placements and edges back from the arc flows.
+func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker, l int) error {
+	chain := stageServices(in.Request, l)
+	rate := in.Request.Substreams[l].Rate
+	q := len(chain)
+
+	type comp struct {
+		host     overlay.NodeInfo
+		drop     float64
+		util     float64
+		inNode   int
+		outNode  int
+		internal mincostflow.ArcID
+	}
+	// Gather candidates per stage; a host may appear at several stages.
+	stages := make([][]comp, q)
+	for j, svc := range chain {
+		cands := in.Candidates[svc]
+		if len(cands) == 0 {
+			return fmt.Errorf("%w: no hosts offer %q", ErrNoFeasiblePlacement, svc)
+		}
+		for _, c := range cands {
+			stages[j] = append(stages[j], comp{host: c.Info, drop: c.Report.DropRatio, util: c.Report.Utilization()})
+		}
+	}
+
+	fg := mincostflow.NewGraph(2)
+	const (
+		src  = 0
+		sink = 1
+	)
+	srcOut := fg.AddNode()
+	dstIn := fg.AddNode()
+	// Source uplink and destination downlink capacities.
+	fg.AddArc(src, srcOut, int64(caps.get(in.Source.ID)), 0)
+	fg.AddArc(dstIn, sink, int64(caps.get(in.Dest.ID)), 0)
+	for j := range stages {
+		proc := procFor(in, chain[j])
+		for k := range stages[j] {
+			c := &stages[j][k]
+			c.inNode = fg.AddNode()
+			c.outNode = fg.AddNode()
+			capUnits := int64(caps.capacityFor(c.host.ID, proc))
+			cost := int64(c.drop*costScale) + int64(c.util*utilTieScale)
+			c.internal = fg.AddArc(c.inNode, c.outNode, capUnits, cost)
+		}
+	}
+	const unbounded = int64(1) << 40
+	type edgeRef struct {
+		fromStage int
+		toStage   int
+		from, to  overlay.NodeInfo
+		id        mincostflow.ArcID
+	}
+	var edges []edgeRef
+	// Source to stage 0.
+	for k := range stages[0] {
+		c := &stages[0][k]
+		id := fg.AddArc(srcOut, c.inNode, unbounded, 0)
+		edges = append(edges, edgeRef{fromStage: -1, toStage: 0, from: in.Source, to: c.host, id: id})
+	}
+	// Stage j to stage j+1.
+	for j := 0; j+1 < q; j++ {
+		for k := range stages[j] {
+			for k2 := range stages[j+1] {
+				a, b := &stages[j][k], &stages[j+1][k2]
+				id := fg.AddArc(a.outNode, b.inNode, unbounded, 0)
+				edges = append(edges, edgeRef{fromStage: j, toStage: j + 1, from: a.host, to: b.host, id: id})
+			}
+		}
+	}
+	// Last stage to destination.
+	for k := range stages[q-1] {
+		c := &stages[q-1][k]
+		id := fg.AddArc(c.outNode, dstIn, unbounded, 0)
+		edges = append(edges, edgeRef{fromStage: q - 1, toStage: q, from: c.host, to: in.Dest, id: id})
+	}
+
+	if m.NoSplit {
+		// Ablation: keep only the cheapest feasible host per stage
+		// (ties to the lower ID) so the flow cannot split.
+		for j := range stages {
+			best := -1
+			for k := range stages[j] {
+				if fg.Residual(stages[j][k].internal) < int64(rate) {
+					continue
+				}
+				if best == -1 ||
+					stages[j][k].drop < stages[j][best].drop ||
+					(stages[j][k].drop == stages[j][best].drop &&
+						stages[j][k].host.ID.Cmp(stages[j][best].host.ID) < 0) {
+					best = k
+				}
+			}
+			if best == -1 {
+				return fmt.Errorf("%w: no single host can carry stage %d", ErrNoFeasiblePlacement, j)
+			}
+			for k := range stages[j] {
+				if k != best {
+					fg.ZeroCapacity(stages[j][k].internal)
+				}
+			}
+		}
+	}
+
+	res, err := m.solve(fg, src, sink, int64(rate))
+	if err != nil {
+		return err
+	}
+	if res.Flow < int64(rate) {
+		if m.BestEffortFraction <= 0 || float64(res.Flow) < m.BestEffortFraction*float64(rate) {
+			return fmt.Errorf("%w: achieved %d of %d units/sec", ErrNoFeasiblePlacement, res.Flow, rate)
+		}
+		// Best-effort admission: lower the substream's requirement to
+		// the achievable rate. The graph's Request carries the adjusted
+		// rate so sources, sinks and CheckGraph all agree.
+		rate = int(res.Flow)
+		g.Request.Substreams[l].Rate = rate
+	}
+
+	// Read back placements and edges; update capacities.
+	for j := range stages {
+		proc := procFor(in, chain[j])
+		for k := range stages[j] {
+			c := &stages[j][k]
+			f := fg.Flow(c.internal)
+			if f <= 0 {
+				continue
+			}
+			g.Placements = append(g.Placements, Placement{
+				Substream: l, Stage: j, Service: chain[j],
+				Host: c.host, Rate: float64(f),
+			})
+			caps.consume(c.host.ID, int(f))
+			caps.consumeCPU(c.host.ID, int(f), proc)
+		}
+	}
+	for _, e := range edges {
+		f := fg.Flow(e.id)
+		if f <= 0 {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{
+			Substream: l, FromStage: e.fromStage, ToStage: e.toStage,
+			From: e.from, To: e.to, Rate: float64(f),
+		})
+	}
+	caps.consume(in.Source.ID, rate)
+	caps.consume(in.Dest.ID, rate)
+	return nil
+}

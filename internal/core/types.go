@@ -1,0 +1,315 @@
+// Package core implements the paper's contribution: rate-based composition
+// of stream-processing applications. Given a service request, the
+// candidate hosts per service (from discovery) and their monitoring reports
+// (availability vectors and drop ratios), a Composer produces an execution
+// graph — component placements with assigned rates and the data-flow edges
+// between them — such that each substream's rate requirement is met.
+//
+// Three composers are provided: MinCost (RASC's algorithm: a reduction to
+// minimum-cost flow that can split a service across several component
+// instances), and the paper's two baselines, Random and Greedy.
+// A fourth, LP, generalizes MinCost to rate ratios ≠ 1 via linear
+// programming, the extension §3.5 sketches.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rasc.dev/rasc/internal/monitor"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/spec"
+)
+
+// Candidate is a host offering a service, together with its latest
+// monitoring report.
+type Candidate struct {
+	Info   overlay.NodeInfo
+	Report monitor.Report
+}
+
+// Input gathers everything a composer needs for one request.
+type Input struct {
+	Request spec.Request
+	// Source emits the stream; Dest receives the results (the user).
+	Source, Dest overlay.NodeInfo
+	// SourceReport and DestReport supply the endpoints' availability.
+	SourceReport, DestReport monitor.Report
+	// Candidates lists the hosts offering each service.
+	Candidates map[string][]Candidate
+	// Catalog supplies service definitions (rate ratios for LP).
+	Catalog map[string]spec.ServiceDef
+	// Rand drives randomized composers; deterministic under a fixed
+	// seed.
+	Rand *rand.Rand
+	// Headroom scales measured availability before it becomes flow
+	// capacity (0 selects DefaultHeadroom). Monitoring reports lag the
+	// true load by one window, so composing against 100% of measured
+	// availability overcommits links; all composers share this margin.
+	Headroom float64
+}
+
+// DefaultHeadroom is the fraction of measured availability composers plan
+// against.
+const DefaultHeadroom = 0.9
+
+func (in Input) headroom() float64 {
+	if in.Headroom <= 0 || in.Headroom > 1 {
+		return DefaultHeadroom
+	}
+	return in.Headroom
+}
+
+// Placement is one component instance with its assigned input rate.
+type Placement struct {
+	Substream int              `json:"substream"`
+	Stage     int              `json:"stage"`
+	Service   string           `json:"service"`
+	Host      overlay.NodeInfo `json:"host"`
+	Rate      float64          `json:"rate"` // data units per second into the component
+}
+
+// Edge is a data path between two stages with its assigned rate.
+// FromStage -1 denotes the source; ToStage == len(chain) the destination.
+type Edge struct {
+	Substream int              `json:"substream"`
+	FromStage int              `json:"fromStage"`
+	ToStage   int              `json:"toStage"`
+	From      overlay.NodeInfo `json:"from"`
+	To        overlay.NodeInfo `json:"to"`
+	Rate      float64          `json:"rate"`
+}
+
+// ExecutionGraph is the outcome of composition: the mapping of the service
+// request graph onto overlay nodes.
+type ExecutionGraph struct {
+	Request  spec.Request `json:"request"`
+	Composer string       `json:"composer"`
+	Source   overlay.NodeInfo
+	Dest     overlay.NodeInfo
+	// Placements holds every component instance; Edges every data path.
+	Placements []Placement `json:"placements"`
+	Edges      []Edge      `json:"edges"`
+}
+
+// Composer turns a request plus system state into an execution graph.
+type Composer interface {
+	// Compose returns an execution graph meeting the rate requirements,
+	// or an error when the request cannot be accommodated.
+	Compose(in Input) (*ExecutionGraph, error)
+	// Name identifies the composer in reports ("mincost", "greedy", …).
+	Name() string
+}
+
+// ErrNoFeasiblePlacement is returned when a request's rate requirements
+// cannot be met with the available capacity.
+var ErrNoFeasiblePlacement = errors.New("core: no feasible placement")
+
+// ByName builds a composer from its report name: "mincost",
+// "mincost-nosplit", "mincost-cpu", "greedy", "random", "lp" or "lp-cpu".
+func ByName(name string) (Composer, error) {
+	switch name {
+	case "mincost":
+		return &MinCost{}, nil
+	case "mincost-nosplit":
+		return &MinCost{NoSplit: true}, nil
+	case "mincost-cpu":
+		return &MinCost{UseCPU: true}, nil
+	case "mincost-besteffort":
+		return &MinCost{BestEffortFraction: 0.5}, nil
+	case "greedy":
+		return Greedy{}, nil
+	case "random":
+		return Random{}, nil
+	case "lp":
+		return LP{}, nil
+	case "lp-cpu":
+		return LP{UseCPU: true}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown composer %q", name)
+	}
+}
+
+// unitBits returns the bits per data unit for the request.
+func unitBits(req spec.Request) float64 { return float64(req.UnitBytes) * 8 }
+
+// maxRateUnits is the paper's r_max(n) = min(b_in, b_out) expressed in data
+// units per second for the request's unit size, scaled by the planning
+// headroom.
+func maxRateUnits(rep monitor.Report, in Input) int {
+	minBps := rep.AvailIn()
+	if out := rep.AvailOut(); out < minBps {
+		minBps = out
+	}
+	return int(minBps * in.headroom() / unitBits(in.Request))
+}
+
+// capTracker tracks remaining per-host capacity across the substreams of
+// one composition, mirroring the "update the node capacities" step of
+// Algorithm 1. Bandwidth is tracked in data units/sec; when CPU tracking
+// is seeded (the multi-resource extension), remaining CPU fractions are
+// tracked alongside and a component's capacity is the minimum over both
+// resource classes.
+type capTracker struct {
+	remaining map[overlay.ID]int
+	cpuFrac   map[overlay.ID]float64
+	speed     map[overlay.ID]float64
+}
+
+func newCapTracker() *capTracker {
+	return &capTracker{
+		remaining: make(map[overlay.ID]int),
+		cpuFrac:   make(map[overlay.ID]float64),
+		speed:     make(map[overlay.ID]float64),
+	}
+}
+
+// seed records a host's initial bandwidth capacity the first time it is
+// seen.
+func (c *capTracker) seed(id overlay.ID, units int) {
+	if _, ok := c.remaining[id]; !ok {
+		if units < 0 {
+			units = 0
+		}
+		c.remaining[id] = units
+	}
+}
+
+// seedCPU records a host's CPU speed factor and available CPU fraction.
+func (c *capTracker) seedCPU(id overlay.ID, speed, availFrac float64) {
+	if _, ok := c.speed[id]; ok || speed <= 0 {
+		return
+	}
+	if availFrac < 0 {
+		availFrac = 0
+	}
+	c.speed[id] = speed
+	c.cpuFrac[id] = availFrac
+}
+
+func (c *capTracker) get(id overlay.ID) int { return c.remaining[id] }
+
+// capacityFor returns the host's remaining capacity in units/sec for a
+// component with the given per-unit reference processing cost: the
+// minimum of the bandwidth budget and (when CPU is tracked) the CPU
+// budget.
+func (c *capTracker) capacityFor(id overlay.ID, procPerUnit time.Duration) int {
+	units := c.remaining[id]
+	speed, ok := c.speed[id]
+	if !ok || procPerUnit <= 0 {
+		return units
+	}
+	cpuUnits := int(c.cpuFrac[id] * speed * float64(time.Second) / float64(procPerUnit))
+	if cpuUnits < units {
+		return cpuUnits
+	}
+	return units
+}
+
+func (c *capTracker) consume(id overlay.ID, units int) {
+	c.remaining[id] -= units
+	if c.remaining[id] < 0 {
+		c.remaining[id] = 0
+	}
+}
+
+// consumeCPU deducts the CPU fraction a component consumes at the given
+// rate.
+func (c *capTracker) consumeCPU(id overlay.ID, units int, procPerUnit time.Duration) {
+	speed, ok := c.speed[id]
+	if !ok || procPerUnit <= 0 {
+		return
+	}
+	c.cpuFrac[id] -= float64(units) * float64(procPerUnit) / (speed * float64(time.Second))
+	if c.cpuFrac[id] < 0 {
+		c.cpuFrac[id] = 0
+	}
+}
+
+// Stages returns the service chain of substream l.
+func stageServices(req spec.Request, l int) []string { return req.Substreams[l].Services }
+
+// procFor returns the service's reference per-unit processing cost from
+// the input catalog (0 when unknown, which disables CPU capping for it).
+func procFor(in Input, svc string) time.Duration {
+	if in.Catalog == nil {
+		return 0
+	}
+	return in.Catalog[svc].ProcPerUnit
+}
+
+// CheckGraph validates the structural invariants of an execution graph:
+// per-component flow conservation (inflow equals the placement's assigned
+// rate, outflow equals inflow times the stage's rate ratio), source and
+// destination totals matching the rate requirements, and edges only
+// between adjacent stages. A nil catalog assumes every rate ratio is 1.
+func CheckGraph(g *ExecutionGraph, catalog map[string]spec.ServiceDef) error {
+	const tol = 1e-6
+	for l, ss := range g.Request.Substreams {
+		q := len(ss.Services)
+		inflow := make(map[int]map[overlay.ID]float64)  // stage -> host -> in
+		outflow := make(map[int]map[overlay.ID]float64) // stage -> host -> out
+		add := func(m map[int]map[overlay.ID]float64, stage int, id overlay.ID, v float64) {
+			if m[stage] == nil {
+				m[stage] = make(map[overlay.ID]float64)
+			}
+			m[stage][id] += v
+		}
+		var srcOut, dstIn float64
+		for _, e := range g.Edges {
+			if e.Substream != l {
+				continue
+			}
+			if e.ToStage != e.FromStage+1 {
+				return fmt.Errorf("core: edge skips stages (%d -> %d)", e.FromStage, e.ToStage)
+			}
+			if e.Rate <= 0 {
+				return fmt.Errorf("core: non-positive edge rate %g", e.Rate)
+			}
+			if e.FromStage == -1 {
+				srcOut += e.Rate
+			} else {
+				add(outflow, e.FromStage, e.From.ID, e.Rate)
+			}
+			if e.ToStage == q {
+				dstIn += e.Rate
+			} else {
+				add(inflow, e.ToStage, e.To.ID, e.Rate)
+			}
+		}
+		want := float64(ss.Rate)
+		for _, p := range g.Placements {
+			if p.Substream != l {
+				continue
+			}
+			if p.Rate <= 0 {
+				return fmt.Errorf("core: non-positive placement rate %g", p.Rate)
+			}
+			in := inflow[p.Stage][p.Host.ID]
+			if diff := in - p.Rate; diff > tol || diff < -tol {
+				return fmt.Errorf("core: substream %d stage %d host %v: inflow %g != rate %g",
+					l, p.Stage, p.Host.ID, in, p.Rate)
+			}
+			ratio := 1.0
+			if catalog != nil {
+				if def, ok := catalog[p.Service]; ok && def.RateRatio > 0 {
+					ratio = def.RateRatio
+				}
+			}
+			out := outflow[p.Stage][p.Host.ID]
+			if diff := out - p.Rate*ratio; diff > tol || diff < -tol {
+				return fmt.Errorf("core: substream %d stage %d host %v: outflow %g != %g",
+					l, p.Stage, p.Host.ID, out, p.Rate*ratio)
+			}
+		}
+		if diff := dstIn - want; diff > tol || diff < -tol {
+			return fmt.Errorf("core: substream %d delivers %g, want %g", l, dstIn, want)
+		}
+		if srcOut <= 0 {
+			return fmt.Errorf("core: substream %d has no source outflow", l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/services"
+)
+
+func TestNewSystemPlacement(t *testing.T) {
+	s := NewSystem(SystemOptions{Nodes: 16, Seed: 1})
+	if len(s.Engines) != 16 || len(s.Dirs) != 16 || len(s.Stores) != 16 {
+		t.Fatal("system components missing")
+	}
+	for i, svcs := range s.Placement {
+		if len(svcs) != 5 {
+			t.Fatalf("node %d announced %d services, want 5", i, len(svcs))
+		}
+		seen := map[string]bool{}
+		for _, svc := range svcs {
+			if seen[svc] {
+				t.Fatalf("node %d announced %q twice", i, svc)
+			}
+			seen[svc] = true
+		}
+	}
+}
+
+func TestNewSystemServicesDiscoverable(t *testing.T) {
+	s := NewSystem(SystemOptions{Nodes: 16, Seed: 2})
+	// Count providers for each service through lookups from node 0.
+	total := 0
+	for _, svc := range services.Standard().Names() {
+		var hosts []overlay.NodeInfo
+		s.Dirs[0].Lookup(svc, 5*time.Second, func(h []overlay.NodeInfo, err error) {
+			if err != nil {
+				t.Errorf("%s: %v", svc, err)
+			}
+			hosts = h
+		})
+		s.Sim.Run()
+		total += len(hosts)
+	}
+	if total != 16*5 {
+		t.Fatalf("discoverable registrations = %d, want 80", total)
+	}
+}
+
+func TestNewSystemHeterogeneousCPU(t *testing.T) {
+	s := NewSystem(SystemOptions{Nodes: 8, Seed: 3, HeterogeneousCPU: true})
+	speeds := map[float64]bool{}
+	for _, e := range s.Engines {
+		speeds[e.Config().SpeedFactor] = true
+	}
+	if len(speeds) < 4 {
+		t.Fatalf("expected varied speed factors, got %d distinct", len(speeds))
+	}
+	s2 := NewSystem(SystemOptions{Nodes: 8, Seed: 3})
+	for _, e := range s2.Engines {
+		if e.Config().SpeedFactor != 1 {
+			t.Fatal("homogeneous system must use speed factor 1")
+		}
+	}
+}
+
+func TestNewSystemServiceSubset(t *testing.T) {
+	s := NewSystem(SystemOptions{
+		Nodes:           6,
+		Seed:            4,
+		ServiceNames:    []string{"filter", "encrypt"},
+		ServicesPerNode: 2,
+	})
+	for i, svcs := range s.Placement {
+		if len(svcs) != 2 {
+			t.Fatalf("node %d announced %v", i, svcs)
+		}
+	}
+}
+
+func TestNewSystemDeterministicPlacement(t *testing.T) {
+	a := NewSystem(SystemOptions{Nodes: 8, Seed: 5})
+	b := NewSystem(SystemOptions{Nodes: 8, Seed: 5})
+	for i := range a.Placement {
+		if len(a.Placement[i]) != len(b.Placement[i]) {
+			t.Fatal("placement diverged")
+		}
+		for j := range a.Placement[i] {
+			if a.Placement[i][j] != b.Placement[i][j] {
+				t.Fatal("placement diverged")
+			}
+		}
+	}
+}

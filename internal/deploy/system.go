@@ -1,0 +1,166 @@
+// Package deploy assembles complete simulated RASC deployments: a joined
+// overlay cluster with DHT, discovery and a stream engine on every node,
+// plus seeded service placement — the substrate for integration tests,
+// examples and the experiment harness.
+package deploy
+
+import (
+	"math/rand"
+	"time"
+
+	"rasc.dev/rasc/internal/dht"
+	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/simnet"
+	"rasc.dev/rasc/internal/stream"
+)
+
+// SystemOptions configures a full simulated RASC deployment.
+type SystemOptions struct {
+	// Nodes and Seed size and seed the deployment.
+	Nodes int
+	Seed  int64
+	// Topology overrides the generated PlanetLab-like topology.
+	Topology *netsim.Topology
+	// Jitter is the per-message latency jitter (0 selects the default).
+	Jitter time.Duration
+	// LossRate is the random message loss probability.
+	LossRate float64
+	// MaxLinkBacklog bounds link buffers; congestion beyond it drops
+	// data units (0 = unbounded).
+	MaxLinkBacklog time.Duration
+	// CongestionJitter adds backlog-proportional delivery jitter.
+	CongestionJitter float64
+
+	// Catalog defaults to services.Standard().
+	Catalog services.Catalog
+	// ServicesPerNode is how many services each node announces
+	// (default 5, as in §4.1). Zero services means no placement here.
+	ServicesPerNode int
+	// ServiceNames restricts placement to a subset of the catalog
+	// (default: all catalog services).
+	ServiceNames []string
+	// SchedPolicy, ProcJitter, QueueCapacity, TimelyFactor, StatsMaxAge
+	// and KeepDelaySamples feed every engine's Config.
+	SchedPolicy      string
+	ProcJitter       float64
+	QueueCapacity    int
+	TimelyFactor     float64
+	StatsMaxAge      time.Duration
+	KeepDelaySamples bool
+	// HeterogeneousCPU draws per-node speed factors in [0.6, 1.4).
+	HeterogeneousCPU bool
+	// BackgroundFlows adds this many constant-bit-rate cross-traffic
+	// flows between random node pairs (PlanetLab's shared-slice load).
+	// Each runs at BackgroundBps. Background traffic consumes link
+	// capacity but is invisible to the nodes' own monitors, so measured
+	// availability overestimates — drop feedback becomes the only
+	// signal, as on the real testbed. Deployments with background flows
+	// must advance time with RunUntil (the event queue never drains).
+	BackgroundFlows int
+	// BackgroundBps is the per-flow rate (default 50 Kbps).
+	BackgroundBps float64
+}
+
+// System is a running simulated deployment: a joined overlay with DHT,
+// discovery and a stream engine on every node, services announced.
+type System struct {
+	*simnet.Cluster
+	Options SystemOptions
+	Stores  []*dht.Store
+	Dirs    []*discovery.Directory
+	Engines []*stream.Engine
+	// Placement records which services each node announced.
+	Placement [][]string
+}
+
+// NewSystem builds and starts a deployment. After it returns, the overlay
+// is joined, every node's services are registered in the DHT, and the
+// simulator has quiesced.
+func NewSystem(opts SystemOptions) *System {
+	if opts.Catalog == nil {
+		opts.Catalog = services.Standard()
+	}
+	if opts.ServicesPerNode == 0 {
+		opts.ServicesPerNode = 5
+	}
+	names := opts.ServiceNames
+	if names == nil {
+		names = opts.Catalog.Names()
+	}
+	c := simnet.New(simnet.Options{
+		N:                opts.Nodes,
+		Seed:             opts.Seed,
+		Topology:         opts.Topology,
+		Jitter:           opts.Jitter,
+		LossRate:         opts.LossRate,
+		MaxLinkBacklog:   opts.MaxLinkBacklog,
+		CongestionJitter: opts.CongestionJitter,
+	})
+	s := &System{Cluster: c, Options: opts}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	for i, node := range c.Nodes {
+		store := dht.New(node, c.Clock)
+		dir := discovery.New(node, store, c.Clock)
+		speed := 1.0
+		if opts.HeterogeneousCPU {
+			speed = 0.6 + 0.8*rng.Float64()
+		}
+		cfg := stream.Config{
+			InBps:            c.Topology.DownBps[i],
+			OutBps:           c.Topology.UpBps[i],
+			SpeedFactor:      speed,
+			SchedPolicy:      opts.SchedPolicy,
+			ProcJitter:       opts.ProcJitter,
+			QueueCapacity:    opts.QueueCapacity,
+			TimelyFactor:     opts.TimelyFactor,
+			StatsMaxAge:      opts.StatsMaxAge,
+			KeepDelaySamples: opts.KeepDelaySamples,
+		}
+		engRng := rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(i)))
+		eng := stream.NewEngine(node, c.Clock, dir, opts.Catalog, engRng, cfg)
+		s.Stores = append(s.Stores, store)
+		s.Dirs = append(s.Dirs, dir)
+		s.Engines = append(s.Engines, eng)
+	}
+	// Announce services: each node offers ServicesPerNode services drawn
+	// without replacement, seeded, so the replication degree matches
+	// §4.1 in expectation.
+	perNode := opts.ServicesPerNode
+	if perNode > len(names) {
+		perNode = len(names)
+	}
+	s.Placement = make([][]string, len(c.Nodes))
+	for i, d := range s.Dirs {
+		idx := rng.Perm(len(names))[:perNode]
+		for _, k := range idx {
+			d.Announce(names[k])
+			s.Placement[i] = append(s.Placement[i], names[k])
+		}
+	}
+	c.Sim.Run()
+	// Start background cross-traffic only after the control plane has
+	// quiesced (the flows reschedule forever).
+	if opts.BackgroundFlows > 0 {
+		bps := opts.BackgroundBps
+		if bps <= 0 {
+			bps = 5e4
+		}
+		for i := 0; i < opts.BackgroundFlows; i++ {
+			from := netsim.NodeID(rng.Intn(opts.Nodes))
+			to := netsim.NodeID(rng.Intn(opts.Nodes))
+			if from == to {
+				to = netsim.NodeID((int(to) + 1) % opts.Nodes)
+			}
+			c.Net.AddBackgroundFlow(from, to, bps, 1250)
+		}
+	}
+	return s
+}
+
+// Kill fails node i: its transport endpoint closes, so it neither receives
+// nor sends anything from now on (fail-stop). Peers observe timeouts.
+func (s *System) Kill(i int) {
+	_ = s.Endpoints[i].Close()
+}

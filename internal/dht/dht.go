@@ -1,0 +1,219 @@
+// Package dht provides a replicated multi-value store on top of the Pastry
+// overlay, playing the role FreePastry's object storage plays for RASC: a
+// key (the SHA-1 of a service name) maps to the set of values (host
+// records) published under it.
+package dht
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/overlay"
+)
+
+const appName = "dht"
+
+// DefaultReplication is how many leaf-set neighbors receive a copy of each
+// stored value.
+const DefaultReplication = 4
+
+// ErrTimeout is reported by Get when the key's root does not answer.
+var ErrTimeout = errors.New("dht: lookup timed out")
+
+type opKind string
+
+const (
+	opPut     opKind = "put"
+	opRemove  opKind = "remove"
+	opGet     opKind = "get"
+	opReply   opKind = "reply"
+	opReplica opKind = "replica"
+)
+
+// message is the DHT wire format, carried in overlay route/direct bodies.
+type message struct {
+	Op     opKind     `json:"op"`
+	Key    overlay.ID `json:"key"`
+	Value  []byte     `json:"v,omitempty"`
+	Values [][]byte   `json:"vs,omitempty"`
+	ReqID  uint64     `json:"r,omitempty"`
+	Remove bool       `json:"rm,omitempty"`
+}
+
+type pendingGet struct {
+	cb     func([][]byte, error)
+	cancel func()
+}
+
+// Store is one node's participation in the DHT.
+type Store struct {
+	node    *overlay.Node
+	clk     clock.Clock
+	data    map[overlay.ID]map[string]time.Duration // value -> expiry (0 = never)
+	pending map[uint64]*pendingGet
+	nextReq uint64
+
+	// Replication is the number of leaf-set members that receive copies
+	// of values this node stores as root.
+	Replication int
+	// TTL, when positive, expires stored values that are not re-Put
+	// within it. Publishers keep their registrations alive with
+	// periodic refresh (discovery.Directory.StartRefresh); entries of
+	// departed publishers then age out instead of lingering forever.
+	TTL time.Duration
+}
+
+// New attaches a DHT store to an overlay node.
+func New(node *overlay.Node, clk clock.Clock) *Store {
+	s := &Store{
+		node:        node,
+		clk:         clk,
+		data:        make(map[overlay.ID]map[string]time.Duration),
+		pending:     make(map[uint64]*pendingGet),
+		Replication: DefaultReplication,
+	}
+	node.Register(appName, s.deliver)
+	return s
+}
+
+// Put publishes value under key. The value is routed to the key's root and
+// replicated on the root's leaf set. Duplicate values are idempotent.
+func (s *Store) Put(key overlay.ID, value []byte) {
+	s.route(message{Op: opPut, Key: key, Value: value})
+}
+
+// Remove withdraws value from key's value set.
+func (s *Store) Remove(key overlay.ID, value []byte) {
+	s.route(message{Op: opRemove, Key: key, Value: value})
+}
+
+// Get fetches the value set for key. cb runs exactly once, either with the
+// values (possibly empty) or with an error.
+func (s *Store) Get(key overlay.ID, timeout time.Duration, cb func([][]byte, error)) {
+	s.nextReq++
+	id := s.nextReq
+	p := &pendingGet{cb: cb}
+	p.cancel = s.clk.After(timeout, func() {
+		if _, ok := s.pending[id]; ok {
+			delete(s.pending, id)
+			// The key's route is suspect: probe-and-prune the local
+			// next hop so a retry can take a live path.
+			s.node.HealRoute(key, timeout/2+time.Millisecond, nil)
+			cb(nil, ErrTimeout)
+		}
+	})
+	s.pending[id] = p
+	s.route(message{Op: opGet, Key: key, ReqID: id})
+}
+
+// LocalValues returns the live (unexpired) values this node stores for key
+// (diagnostics and tests).
+func (s *Store) LocalValues(key overlay.ID) [][]byte {
+	now := s.clk.Now()
+	var out [][]byte
+	for v, expiry := range s.data[key] {
+		if expiry != 0 && expiry <= now {
+			continue
+		}
+		out = append(out, []byte(v))
+	}
+	return out
+}
+
+// pruneExpired removes aged-out values for key.
+func (s *Store) pruneExpired(key overlay.ID) {
+	set, ok := s.data[key]
+	if !ok {
+		return
+	}
+	now := s.clk.Now()
+	for v, expiry := range set {
+		if expiry != 0 && expiry <= now {
+			delete(set, v)
+		}
+	}
+	if len(set) == 0 {
+		delete(s.data, key)
+	}
+}
+
+// LocalKeys returns how many keys this node stores.
+func (s *Store) LocalKeys() int { return len(s.data) }
+
+func (s *Store) route(m message) {
+	b, _ := json.Marshal(m)
+	s.node.Route(m.Key, appName, b)
+}
+
+func (s *Store) deliver(_ overlay.ID, src overlay.NodeInfo, body []byte) {
+	var m message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return
+	}
+	switch m.Op {
+	case opPut:
+		s.store(m.Key, m.Value)
+		s.replicate(m.Key, m.Value, false)
+	case opRemove:
+		s.erase(m.Key, m.Value)
+		s.replicate(m.Key, m.Value, true)
+	case opReplica:
+		if m.Remove {
+			s.erase(m.Key, m.Value)
+		} else {
+			s.store(m.Key, m.Value)
+		}
+	case opGet:
+		reply := message{Op: opReply, Key: m.Key, ReqID: m.ReqID, Values: s.LocalValues(m.Key)}
+		b, _ := json.Marshal(reply)
+		s.node.Direct(src.Addr, appName, b)
+	case opReply:
+		p, ok := s.pending[m.ReqID]
+		if !ok {
+			return
+		}
+		delete(s.pending, m.ReqID)
+		p.cancel()
+		p.cb(m.Values, nil)
+	}
+}
+
+func (s *Store) store(key overlay.ID, value []byte) {
+	s.pruneExpired(key)
+	set, ok := s.data[key]
+	if !ok {
+		set = make(map[string]time.Duration)
+		s.data[key] = set
+	}
+	var expiry time.Duration
+	if s.TTL > 0 {
+		expiry = s.clk.Now() + s.TTL
+	}
+	set[string(value)] = expiry
+}
+
+func (s *Store) erase(key overlay.ID, value []byte) {
+	if set, ok := s.data[key]; ok {
+		delete(set, string(value))
+		if len(set) == 0 {
+			delete(s.data, key)
+		}
+	}
+}
+
+// replicate pushes a stored (or removed) value to the nearest leaf-set
+// members so the data survives the root and remains findable after small
+// ring changes.
+func (s *Store) replicate(key overlay.ID, value []byte, remove bool) {
+	m := message{Op: opReplica, Key: key, Value: value, Remove: remove}
+	b, _ := json.Marshal(m)
+	peers := s.node.Leafset()
+	for i, peer := range peers {
+		if i >= s.Replication {
+			break
+		}
+		s.node.Direct(peer.Addr, appName, b)
+	}
+}

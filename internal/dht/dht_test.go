@@ -1,0 +1,230 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/simnet"
+)
+
+func newDHTCluster(t *testing.T, n int, seed int64) (*simnet.Cluster, []*Store) {
+	t.Helper()
+	c := simnet.New(simnet.Options{N: n, Seed: seed})
+	stores := make([]*Store, n)
+	for i, node := range c.Nodes {
+		stores[i] = New(node, c.Clock)
+	}
+	return c, stores
+}
+
+func TestPutGetSingleValue(t *testing.T) {
+	c, stores := newDHTCluster(t, 12, 1)
+	key := overlay.HashID("svc:transcode")
+	stores[3].Put(key, []byte("host-3"))
+	c.Sim.Run()
+	var got [][]byte
+	var gotErr error
+	stores[7].Get(key, time.Second, func(vs [][]byte, err error) { got, gotErr = vs, err })
+	c.Sim.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(got) != 1 || string(got[0]) != "host-3" {
+		t.Fatalf("got = %q", got)
+	}
+}
+
+func TestPutMultiValueAccumulates(t *testing.T) {
+	c, stores := newDHTCluster(t, 12, 2)
+	key := overlay.HashID("svc:filter")
+	for i := 0; i < 5; i++ {
+		stores[i].Put(key, []byte(fmt.Sprintf("host-%d", i)))
+	}
+	c.Sim.Run()
+	var got [][]byte
+	stores[9].Get(key, time.Second, func(vs [][]byte, err error) { got = vs })
+	c.Sim.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %d values, want 5: %q", len(got), got)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 3)
+	key := overlay.HashID("k")
+	stores[0].Put(key, []byte("v"))
+	stores[1].Put(key, []byte("v"))
+	stores[0].Put(key, []byte("v"))
+	c.Sim.Run()
+	var got [][]byte
+	stores[2].Get(key, time.Second, func(vs [][]byte, err error) { got = vs })
+	c.Sim.Run()
+	if len(got) != 1 {
+		t.Fatalf("duplicate puts produced %d values", len(got))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 4)
+	key := overlay.HashID("k")
+	stores[0].Put(key, []byte("a"))
+	stores[0].Put(key, []byte("b"))
+	c.Sim.Run()
+	stores[1].Remove(key, []byte("a"))
+	c.Sim.Run()
+	var got [][]byte
+	stores[2].Get(key, time.Second, func(vs [][]byte, err error) { got = vs })
+	c.Sim.Run()
+	if len(got) != 1 || string(got[0]) != "b" {
+		t.Fatalf("after remove got %q", got)
+	}
+}
+
+func TestGetMissingKeyReturnsEmpty(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 5)
+	ran := false
+	stores[0].Get(overlay.HashID("nothing-here"), time.Second, func(vs [][]byte, err error) {
+		ran = true
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		if len(vs) != 0 {
+			t.Errorf("vs = %q", vs)
+		}
+	})
+	c.Sim.Run()
+	if !ran {
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestValuesStoredAtRoot(t *testing.T) {
+	c, stores := newDHTCluster(t, 16, 6)
+	key := overlay.HashID("where-am-i")
+	stores[0].Put(key, []byte("v"))
+	c.Sim.Run()
+	root := c.Root(key)
+	rootStore := stores[c.Index(root.ID())]
+	if len(rootStore.LocalValues(key)) != 1 {
+		t.Fatal("value not stored at the key's root")
+	}
+}
+
+func TestReplication(t *testing.T) {
+	c, stores := newDHTCluster(t, 16, 7)
+	key := overlay.HashID("replicated")
+	stores[2].Put(key, []byte("v"))
+	c.Sim.Run()
+	copies := 0
+	for _, s := range stores {
+		if len(s.LocalValues(key)) > 0 {
+			copies++
+		}
+	}
+	if copies < 2 {
+		t.Fatalf("value exists on %d nodes, want root + replicas", copies)
+	}
+}
+
+func TestConcurrentGetsCorrelateIndependently(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 8)
+	k1, k2 := overlay.HashID("k1"), overlay.HashID("k2")
+	stores[0].Put(k1, []byte("one"))
+	stores[0].Put(k2, []byte("two"))
+	c.Sim.Run()
+	var r1, r2 [][]byte
+	stores[3].Get(k1, time.Second, func(vs [][]byte, err error) { r1 = vs })
+	stores[3].Get(k2, time.Second, func(vs [][]byte, err error) { r2 = vs })
+	c.Sim.Run()
+	if len(r1) != 1 || string(r1[0]) != "one" {
+		t.Fatalf("r1 = %q", r1)
+	}
+	if len(r2) != 1 || string(r2[0]) != "two" {
+		t.Fatalf("r2 = %q", r2)
+	}
+}
+
+func TestLocalKeysCount(t *testing.T) {
+	c, stores := newDHTCluster(t, 4, 9)
+	stores[0].Put(overlay.HashID("a"), []byte("x"))
+	stores[0].Put(overlay.HashID("b"), []byte("y"))
+	c.Sim.Run()
+	total := 0
+	for _, s := range stores {
+		total += s.LocalKeys()
+	}
+	if total < 2 {
+		t.Fatalf("total stored keys %d, want >= 2", total)
+	}
+}
+
+func TestTTLExpiresStaleValues(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 10)
+	for _, s := range stores {
+		s.TTL = 10 * time.Second
+	}
+	key := overlay.HashID("ephemeral")
+	stores[0].Put(key, []byte("v"))
+	c.Sim.Run()
+	var got [][]byte
+	stores[3].Get(key, time.Second, func(vs [][]byte, err error) { got = vs })
+	c.Sim.Run()
+	if len(got) != 1 {
+		t.Fatalf("fresh value missing: %q", got)
+	}
+	// Past the TTL without a refresh, the value ages out.
+	c.Sim.RunUntil(c.Sim.Now() + 11*time.Second)
+	got = nil
+	done := false
+	stores[3].Get(key, time.Second, func(vs [][]byte, err error) { got, done = vs, true })
+	for i := 0; i < 100 && !done; i++ {
+		c.Sim.RunUntil(c.Sim.Now() + 100*time.Millisecond)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expired value still served: %q", got)
+	}
+}
+
+func TestTTLRefreshedByRePut(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 11)
+	for _, s := range stores {
+		s.TTL = 10 * time.Second
+	}
+	key := overlay.HashID("kept-alive")
+	stores[0].Put(key, []byte("v"))
+	c.Sim.Run()
+	// Refresh at t+6s and t+12s: at t+15s the value must still live.
+	c.Sim.RunUntil(c.Sim.Now() + 6*time.Second)
+	stores[0].Put(key, []byte("v"))
+	c.Sim.RunUntil(c.Sim.Now() + 6*time.Second)
+	stores[0].Put(key, []byte("v"))
+	c.Sim.RunUntil(c.Sim.Now() + 3*time.Second)
+	var got [][]byte
+	done := false
+	stores[2].Get(key, time.Second, func(vs [][]byte, err error) { got, done = vs, true })
+	for i := 0; i < 100 && !done; i++ {
+		c.Sim.RunUntil(c.Sim.Now() + 100*time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("refreshed value expired: %q", got)
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	c, stores := newDHTCluster(t, 8, 12)
+	key := overlay.HashID("forever")
+	stores[0].Put(key, []byte("v"))
+	c.Sim.Run()
+	c.Sim.RunUntil(c.Sim.Now() + time.Hour)
+	var got [][]byte
+	done := false
+	stores[1].Get(key, time.Second, func(vs [][]byte, err error) { got, done = vs, true })
+	for i := 0; i < 100 && !done; i++ {
+		c.Sim.RunUntil(c.Sim.Now() + 100*time.Millisecond)
+	}
+	if len(got) != 1 {
+		t.Fatalf("no-TTL value vanished: %q", got)
+	}
+}

@@ -1,0 +1,53 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/simnet"
+)
+
+// TestLookupSurvivesRootFailure kills the key's root after a Put and
+// verifies that a retried Get still finds the value: the first lookup may
+// time out, but route acks and HealRoute prune the dead root and the new
+// root holds a replica.
+func TestLookupSurvivesRootFailure(t *testing.T) {
+	c := simnet.New(simnet.Options{N: 16, Seed: 41})
+	stores := make([]*Store, len(c.Nodes))
+	for i, node := range c.Nodes {
+		stores[i] = New(node, c.Clock)
+	}
+	key := overlay.HashID("svc:resilient")
+	stores[2].Put(key, []byte("value"))
+	c.Sim.Run()
+
+	// Kill the root.
+	rootIdx := c.Index(c.Root(key).ID())
+	if rootIdx == 2 {
+		t.Skip("root is the writer; pick another seed")
+	}
+	c.Endpoints[rootIdx].Close()
+
+	// Retry the lookup until it succeeds (bounded attempts). Each failed
+	// attempt prunes dead state.
+	var got [][]byte
+	for attempt := 0; attempt < 5 && got == nil; attempt++ {
+		done := false
+		stores[5].Get(key, 2*time.Second, func(vs [][]byte, err error) {
+			done = true
+			if err == nil && len(vs) > 0 {
+				got = vs
+			}
+		})
+		for i := 0; i < 200 && !done; i++ {
+			c.Sim.RunUntil(c.Sim.Now() + 100*time.Millisecond)
+		}
+	}
+	if got == nil {
+		t.Fatal("value unreachable after root failure despite replicas")
+	}
+	if string(got[0]) != "value" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/metrics"
+)
+
+// ScalabilityConfig parameterizes the deployment-size sweep: the same
+// workload intensity per node, measured at growing overlay sizes.
+type ScalabilityConfig struct {
+	// NodeCounts to sweep (default 16, 32, 64).
+	NodeCounts []int
+	// Seeds to average (default 1, 2).
+	Seeds []int64
+	// Rate in units/sec per request (default 10 = 100 Kbps).
+	Rate int
+	// RequestsPerNode scales the workload with the deployment
+	// (default 0.5: 16 requests on 32 nodes).
+	RequestsPerNode float64
+	// Composer (default "mincost").
+	Composer string
+	// Progress receives one line per run when set.
+	Progress func(string)
+}
+
+func (c *ScalabilityConfig) defaults() {
+	if len(c.NodeCounts) == 0 {
+		c.NodeCounts = []int{16, 32, 64}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2}
+	}
+	if c.Rate == 0 {
+		c.Rate = 10
+	}
+	if c.RequestsPerNode == 0 {
+		c.RequestsPerNode = 0.5
+	}
+	if c.Composer == "" {
+		c.Composer = "mincost"
+	}
+}
+
+// RunScalability sweeps deployment sizes and reports, per size: requests
+// composed, delivered fraction, and the mean virtual composition latency
+// (discovery + monitoring + solving + instantiation). Composition latency
+// should grow slowly — discovery is O(log N) overlay hops — while
+// delivery quality holds.
+func RunScalability(cfg ScalabilityConfig) (*metrics.Table, error) {
+	cfg.defaults()
+	t := metrics.NewTable(
+		"Scalability: deployment-size sweep ("+cfg.Composer+")",
+		"nodes", "per-column", cfg.NodeCounts)
+	for _, n := range cfg.NodeCounts {
+		requests := int(float64(n) * cfg.RequestsPerNode)
+		if requests < 1 {
+			requests = 1
+		}
+		var composed, delivered, composeMs metrics.Welford
+		for _, seed := range cfg.Seeds {
+			base := Config{
+				Nodes:      n,
+				Requests:   requests,
+				MeasureFor: 20 * time.Second,
+			}
+			rs, err := RunOne(base, cfg.Composer, cfg.Rate, seed)
+			if err != nil {
+				return nil, err
+			}
+			composed.Add(float64(rs.Composed))
+			delivered.Add(rs.DeliveredFraction())
+			composeMs.Add(rs.MeanComposeLatencyMs())
+			if cfg.Progress != nil {
+				cfg.Progress(
+					"nodes=" + itoa(n) + " seed=" + itoa(int(seed)) +
+						" composed=" + itoa(rs.Composed) + "/" + itoa(requests))
+			}
+		}
+		t.Set("composed", n, composed.Mean())
+		t.Set("delivered_frac", n, delivered.Mean())
+		t.Set("compose_ms", n, composeMs.Mean())
+	}
+	return t, nil
+}
+
+// itoa is a tiny local integer formatter (avoids fmt in the hot path).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,271 @@
+// Package live runs a RASC node over real TCP sockets and the wall clock.
+// The protocol stack (overlay, DHT, discovery, monitoring, scheduling,
+// stream engine) is single-threaded by design; here every inbound frame
+// and timer callback is serialized onto one actor goroutine, so the exact
+// same code that runs in the simulator runs against real networks.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/dht"
+	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// Listen is the TCP listen address ("host:port", port 0 = any).
+	Listen string
+	// Name seeds the node's overlay ID (hashed); defaults to the bound
+	// address.
+	Name string
+	// Bootstrap, when non-empty, is an existing node's address to join
+	// through; empty starts a new overlay.
+	Bootstrap string
+	// Services to announce after joining.
+	Services []string
+	// Catalog defaults to services.Standard().
+	Catalog services.Catalog
+	// InBps/OutBps declare the node's access capacity for the
+	// availability vector (defaults 10 Mbps).
+	InBps, OutBps float64
+	// JoinTimeout bounds the join handshake (default 10s).
+	JoinTimeout time.Duration
+	// UDPData sends stream data units over UDP (loss-tolerant) while
+	// control stays on TCP, mirroring the simulated transport's
+	// datagram semantics.
+	UDPData bool
+}
+
+// Node is a running live RASC node.
+type Node struct {
+	loop    chan func()
+	done    chan struct{}
+	ep      transport.Endpoint
+	Overlay *overlay.Node
+	Store   *dht.Store
+	Dir     *discovery.Directory
+	Engine  *stream.Engine
+
+	closeOnce sync.Once
+}
+
+// loopEndpoint serializes inbound frames onto the actor loop.
+type loopEndpoint struct {
+	inner transport.Endpoint
+	post  func(func())
+}
+
+func (l *loopEndpoint) Addr() transport.Addr { return l.inner.Addr() }
+func (l *loopEndpoint) Send(to transport.Addr, msg transport.Message) error {
+	return l.inner.Send(to, msg)
+}
+func (l *loopEndpoint) SetHandler(h transport.Handler) {
+	l.inner.SetHandler(func(from transport.Addr, msg transport.Message) {
+		l.post(func() { h(from, msg) })
+	})
+}
+func (l *loopEndpoint) SetDropHandler(h transport.Handler) {
+	l.inner.SetDropHandler(func(from transport.Addr, msg transport.Message) {
+		l.post(func() { h(from, msg) })
+	})
+}
+func (l *loopEndpoint) Close() error { return l.inner.Close() }
+
+// loopClock posts timer callbacks onto the actor loop.
+type loopClock struct {
+	real *clock.Real
+	post func(func())
+}
+
+func (c loopClock) Now() time.Duration { return c.real.Now() }
+func (c loopClock) After(d time.Duration, fn func()) func() {
+	return c.real.After(d, func() { c.post(fn) })
+}
+
+// Start boots a live node: binds the listener, builds the protocol stack,
+// joins (or bootstraps) the overlay and announces services. It blocks
+// until the node is a member of the overlay.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Catalog == nil {
+		cfg.Catalog = services.Standard()
+	}
+	if cfg.InBps == 0 {
+		cfg.InBps = 10e6
+	}
+	if cfg.OutBps == 0 {
+		cfg.OutBps = 10e6
+	}
+	if cfg.JoinTimeout == 0 {
+		cfg.JoinTimeout = 10 * time.Second
+	}
+	var ep transport.Endpoint
+	var err error
+	if cfg.UDPData {
+		ep, err = transport.NewHybrid(cfg.Listen)
+	} else {
+		ep, err = transport.NewTCP(cfg.Listen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		loop: make(chan func(), 1024),
+		done: make(chan struct{}),
+		ep:   ep,
+	}
+	go n.run()
+	post := n.post
+	lep := &loopEndpoint{inner: ep, post: post}
+	clk := loopClock{real: clock.NewReal(), post: post}
+	name := cfg.Name
+	if name == "" {
+		name = string(ep.Addr())
+	}
+	joined := make(chan struct{})
+	n.DoSync(func() {
+		n.Overlay = overlay.NewNode(overlay.HashID(name), lep, clk)
+		n.Store = dht.New(n.Overlay, clk)
+		// Registrations age out unless refreshed (StartRefresh below
+		// re-publishes every 2s), so a crashed node's services
+		// disappear from discovery within the TTL.
+		n.Store.TTL = 10 * time.Second
+		n.Dir = discovery.New(n.Overlay, n.Store, clk)
+		n.Engine = stream.NewEngine(n.Overlay, clk, n.Dir, cfg.Catalog, newLiveRand(name), stream.Config{
+			InBps:  cfg.InBps,
+			OutBps: cfg.OutBps,
+		})
+		if cfg.Bootstrap == "" {
+			n.Overlay.Bootstrap()
+			close(joined)
+			return
+		}
+		n.Overlay.Join(transport.Addr(cfg.Bootstrap), func() { close(joined) })
+	})
+	select {
+	case <-joined:
+	case <-time.After(cfg.JoinTimeout):
+		n.Close()
+		return nil, fmt.Errorf("live: join through %s timed out", cfg.Bootstrap)
+	}
+	n.DoSync(func() {
+		for _, svc := range cfg.Services {
+			n.Dir.Announce(svc)
+		}
+		// Keep registrations converged as the ring grows.
+		n.Dir.StartRefresh(2 * time.Second)
+		// Periodically exchange leaf sets so concurrent joins converge.
+		var stabilize func()
+		stabilize = func() {
+			n.Overlay.Stabilize()
+			clk.After(2*time.Second, stabilize)
+		}
+		clk.After(time.Second, stabilize)
+	})
+	return n, nil
+}
+
+// run is the actor loop.
+func (n *Node) run() {
+	for {
+		select {
+		case fn := <-n.loop:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// post enqueues fn on the actor loop, dropping it if the node is closed.
+func (n *Node) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.done:
+	}
+}
+
+// Do runs fn on the actor loop asynchronously. All access to the node's
+// protocol objects (Overlay, Store, Dir, Engine) must go through Do or
+// DoSync.
+func (n *Node) Do(fn func()) { n.post(fn) }
+
+// DoSync runs fn on the actor loop and waits for it to finish.
+func (n *Node) DoSync(fn func()) {
+	ch := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(ch)
+	})
+	select {
+	case <-ch:
+	case <-n.done:
+	}
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return string(n.ep.Addr()) }
+
+// Submit composes and starts a request from this node, blocking until
+// composition completes or timeout passes.
+func (n *Node) Submit(req spec.Request, composerName string, timeout time.Duration) (*core.ExecutionGraph, error) {
+	type result struct {
+		graph *core.ExecutionGraph
+		err   error
+	}
+	ch := make(chan result, 1)
+	n.Do(func() {
+		composer, err := core.ByName(composerName)
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		n.Engine.Submit(req, composer, timeout, func(g *core.ExecutionGraph, err error) {
+			ch <- result{graph: g, err: err}
+		})
+	})
+	select {
+	case r := <-ch:
+		return r.graph, r.err
+	case <-time.After(timeout + time.Second):
+		return nil, fmt.Errorf("live: submit timed out")
+	}
+}
+
+// Stats reads a composed request's delivery statistics from this node's
+// sinks.
+func (n *Node) Stats(req string, substream int) (s stream.SinkSnapshot) {
+	n.DoSync(func() {
+		if sink := n.Engine.Sink(req, substream); sink != nil {
+			s = stream.Snapshot(sink)
+		}
+		s.Emitted = n.Engine.EmittedUnits(req, substream)
+	})
+	return s
+}
+
+// newLiveRand seeds a node-local random source from the node name and the
+// wall clock (live nodes need not be reproducible).
+func newLiveRand(name string) *rand.Rand {
+	h := overlay.HashID(name)
+	seed := int64(h[0])<<56 | int64(h[1])<<48 | int64(h[2])<<40 | int64(h[3])<<32 | time.Now().UnixNano()&0xffffffff
+	return rand.New(rand.NewSource(seed))
+}
+
+// Close shuts the node down.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.ep.Close()
+	})
+}

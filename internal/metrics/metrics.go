@@ -1,0 +1,202 @@
+// Package metrics provides the statistics used to aggregate experiment
+// results: streaming mean/variance (Welford), fixed-bucket histograms with
+// percentile queries, and labelled series for rendering the paper's
+// figures as tables and CSV.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates a streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 with fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram is an exact-percentile accumulator: it retains observations
+// and sorts on demand. Suitable for experiment-scale data volumes.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.vals = append(h.vals, x)
+	h.sorted = false
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return len(h.vals) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank, or
+// 0 when empty.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.vals[0]
+	}
+	if p >= 100 {
+		return h.vals[len(h.vals)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(h.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.vals[rank]
+}
+
+// Merge incorporates every observation of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.vals) == 0 {
+		return
+	}
+	h.vals = append(h.vals, other.vals...)
+	h.sorted = false
+}
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.vals {
+		sum += v
+	}
+	return sum / float64(len(h.vals))
+}
+
+// Series is one labelled line of a figure: a y-value per x-value.
+type Series struct {
+	Label  string
+	Points map[int]float64
+}
+
+// Table renders a figure: one row per x value, one column per series —
+// the same rows/columns the paper's plots show.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XVals  []int
+	Series []Series
+}
+
+// NewTable creates a table with the given axes.
+func NewTable(title, xlabel, ylabel string, xvals []int) *Table {
+	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel, XVals: xvals}
+}
+
+// Set records a point for a series, creating the series on first use.
+func (t *Table) Set(label string, x int, y float64) {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			t.Series[i].Points[x] = y
+			return
+		}
+	}
+	t.Series = append(t.Series, Series{Label: label, Points: map[int]float64{x: y}})
+}
+
+// Get returns a point's value (0 when absent).
+func (t *Table) Get(label string, x int) float64 {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			return t.Series[i].Points[x]
+		}
+	}
+	return 0
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.XVals {
+		fmt.Fprintf(&b, "%-12d", x)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, " %14.4f", s.Points[x])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.XVals {
+		fmt.Fprintf(&b, "%d", x)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, ",%g", s.Points[x])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

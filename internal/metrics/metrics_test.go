@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %g, want %g", w.Var(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford must report zeros")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Fatalf("single observation: mean %g var %g", w.Mean(), w.Var())
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestWelfordMatchesNaive(t *testing.T) {
+	prop := func(raw []int16) bool {
+		var w Welford
+		var xs []float64
+		for _, r := range raw {
+			x := float64(r)
+			xs = append(xs, x)
+			w.Add(x)
+		}
+		if len(xs) == 0 {
+			return w.N() == 0
+		}
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		if math.Abs(w.Mean()-mean) > 1e-6 {
+			return false
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return math.Abs(w.Var()-ss/float64(len(xs)-1)) < 1e-4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %g", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramUnsortedInsertions(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range rng.Perm(1000) {
+		h.Add(float64(i))
+	}
+	if got := h.Percentile(90); got != 899 {
+		t.Fatalf("p90 = %g, want 899", got)
+	}
+	// Adding after a percentile query must re-sort.
+	h.Add(-5)
+	if got := h.Percentile(0); got != -5 {
+		t.Fatalf("p0 after insert = %g", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %g after merge", got)
+	}
+	a.Merge(nil) // must not panic
+	var empty Histogram
+	a.Merge(&empty)
+	if a.N() != 100 {
+		t.Fatal("merging empty changed N")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure 6", "rate", "requests", []int{50, 100})
+	tb.Set("mincost", 50, 30)
+	tb.Set("mincost", 100, 29)
+	tb.Set("greedy", 50, 20)
+	tb.Set("greedy", 100, 12)
+	if got := tb.Get("mincost", 100); got != 29 {
+		t.Fatalf("Get = %g", got)
+	}
+	if got := tb.Get("missing", 50); got != 0 {
+		t.Fatalf("missing series Get = %g", got)
+	}
+	text := tb.String()
+	for _, want := range []string{"Figure 6", "mincost", "greedy", "50", "100"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table text missing %q:\n%s", want, text)
+		}
+	}
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "rate,mincost,greedy" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "50,30,20" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestTableSetOverwrites(t *testing.T) {
+	tb := NewTable("t", "x", "y", []int{1})
+	tb.Set("a", 1, 5)
+	tb.Set("a", 1, 7)
+	if got := tb.Get("a", 1); got != 7 {
+		t.Fatalf("Get = %g, want 7", got)
+	}
+	if len(tb.Series) != 1 {
+		t.Fatalf("Series count = %d", len(tb.Series))
+	}
+}

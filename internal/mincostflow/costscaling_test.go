@@ -1,0 +1,183 @@
+package mincostflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScalingSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 10, 2)
+	g.AddArc(1, 2, 5, 3)
+	res, err := g.MinCostFlowScaling(0, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 || res.Cost != 25 {
+		t.Fatalf("res = %+v, want flow 5 cost 25", res)
+	}
+}
+
+func TestScalingPrefersCheaperPath(t *testing.T) {
+	g := NewGraph(3)
+	cheap := g.AddArc(0, 1, 3, 1)
+	g.AddArc(0, 2, 10, 4)
+	g.AddArc(2, 1, 10, 6)
+	res, err := g.MinCostFlowScaling(0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 || res.Cost != 23 {
+		t.Fatalf("res = %+v, want flow 5 cost 23", res)
+	}
+	if g.Flow(cheap) != 3 {
+		t.Fatalf("cheap arc carries %d, want 3", g.Flow(cheap))
+	}
+}
+
+func TestScalingDegenerate(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, 5, 1)
+	if res, _ := g.MinCostFlowScaling(0, 0, 5); res.Flow != 0 {
+		t.Fatal("s==t must carry nothing")
+	}
+	if res, _ := g.MinCostFlowScaling(0, 1, 0); res.Flow != 0 {
+		t.Fatal("want=0 must carry nothing")
+	}
+	if _, err := g.MinCostFlowScaling(-1, 1, 1); err == nil {
+		t.Fatal("bad endpoint accepted")
+	}
+}
+
+func TestScalingRejectsNegativeCosts(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, 5, -1)
+	if _, err := g.MinCostFlowScaling(0, 1, 1); err == nil {
+		t.Fatal("negative costs accepted")
+	}
+}
+
+func TestScalingUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 5, 1)
+	res, err := g.MinCostFlowScaling(0, 2, 5)
+	if err != nil || res.Flow != 0 {
+		t.Fatalf("res = %+v err = %v", res, err)
+	}
+}
+
+// TestScalingMatchesSSP cross-checks the two solvers on random graphs with
+// non-negative costs: flows and costs must agree exactly.
+func TestScalingMatchesSSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		type arcSpec struct {
+			u, v int
+			c, w int64
+		}
+		var arcs []arcSpec
+		for i := 0; i < rng.Intn(16); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			arcs = append(arcs, arcSpec{u, v, int64(rng.Intn(9)), int64(rng.Intn(12))})
+		}
+		want := int64(1 + rng.Intn(12))
+		build := func() *Graph {
+			g := NewGraph(n)
+			for _, a := range arcs {
+				g.AddArc(a.u, a.v, a.c, a.w)
+			}
+			return g
+		}
+		g1, g2 := build(), build()
+		r1, err1 := g1.MinCostFlow(0, n-1, want)
+		r2, err2 := g2.MinCostFlowScaling(0, n-1, want)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: errs %v, %v", trial, err1, err2)
+		}
+		if r1.Flow != r2.Flow {
+			t.Fatalf("trial %d: flows %d vs %d", trial, r1.Flow, r2.Flow)
+		}
+		if r1.Cost != r2.Cost {
+			t.Fatalf("trial %d: costs %d vs %d (flow %d)", trial, r1.Cost, r2.Cost, r1.Flow)
+		}
+	}
+}
+
+// TestScalingFlowValid checks capacity and conservation invariants on the
+// written-back flows.
+func TestScalingFlowValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(6)
+		g := NewGraph(n)
+		type ref struct {
+			id   ArcID
+			u, v int
+			cap  int64
+		}
+		var arcs []ref
+		for i := 0; i < 14; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(8))
+			arcs = append(arcs, ref{g.AddArc(u, v, c, int64(rng.Intn(6))), u, v, c})
+		}
+		res, err := g.MinCostFlowScaling(0, n-1, int64(1+rng.Intn(10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := make([]int64, n)
+		for _, a := range arcs {
+			f := g.Flow(a.id)
+			if f < 0 || f > a.cap {
+				t.Fatalf("trial %d: flow %d outside [0,%d]", trial, f, a.cap)
+			}
+			net[a.u] -= f
+			net[a.v] += f
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				t.Fatalf("trial %d: conservation violated at %d", trial, v)
+			}
+		}
+		if net[n-1] != res.Flow {
+			t.Fatalf("trial %d: sink imbalance %d vs %d", trial, net[n-1], res.Flow)
+		}
+	}
+}
+
+func BenchmarkScalingVsSSP(b *testing.B) {
+	build := func() *Graph {
+		g := NewGraph(60)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 400; i++ {
+			u, v := rng.Intn(60), rng.Intn(60)
+			if u != v {
+				g.AddArc(u, v, int64(5+rng.Intn(20)), int64(rng.Intn(1000)))
+			}
+		}
+		return g
+	}
+	b.Run("ssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := build()
+			if _, err := g.MinCostFlow(0, 59, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scaling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := build()
+			if _, err := g.MinCostFlowScaling(0, 59, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

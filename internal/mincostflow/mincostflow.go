@@ -1,0 +1,320 @@
+// Package mincostflow implements integer minimum-cost flow by successive
+// shortest paths with node potentials (Bellman-Ford initialization followed
+// by Dijkstra), the well-studied reduction RASC builds its composition
+// algorithm on (the paper cites Edmonds-Karp and Goldberg's scaling
+// algorithms; for composition graphs of at most a few hundred nodes SSP is
+// the appropriate choice).
+package mincostflow
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNegativeCycle is returned when the input graph contains a cycle of
+// negative total cost reachable from the source.
+var ErrNegativeCycle = errors.New("mincostflow: negative-cost cycle")
+
+type arc struct {
+	to   int
+	rev  int // index of the reverse arc in adj[to]
+	cap  int64
+	cost int64
+	flow int64
+}
+
+// ArcID identifies an arc added to a graph.
+type ArcID struct{ node, idx int }
+
+// Graph is a directed flow network with integer capacities and costs.
+type Graph struct {
+	adj [][]arc
+}
+
+// NewGraph creates a graph with n nodes numbered 0..n-1.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]arc, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddNode appends a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddArc inserts a directed arc with the given capacity and per-unit cost
+// and returns its identifier. Capacity must be non-negative.
+func (g *Graph) AddArc(from, to int, capacity, cost int64) ArcID {
+	if capacity < 0 {
+		panic(fmt.Sprintf("mincostflow: negative capacity %d", capacity))
+	}
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic(fmt.Sprintf("mincostflow: arc %d->%d outside graph of %d nodes", from, to, len(g.adj)))
+	}
+	fwd := arc{to: to, rev: len(g.adj[to]), cap: capacity, cost: cost}
+	bwd := arc{to: from, rev: len(g.adj[from]), cap: 0, cost: -cost}
+	g.adj[from] = append(g.adj[from], fwd)
+	g.adj[to] = append(g.adj[to], bwd)
+	return ArcID{node: from, idx: len(g.adj[from]) - 1}
+}
+
+// Flow returns the flow currently routed on the arc.
+func (g *Graph) Flow(id ArcID) int64 { return g.adj[id.node][id.idx].flow }
+
+// Residual returns the arc's remaining capacity.
+func (g *Graph) Residual(id ArcID) int64 {
+	a := g.adj[id.node][id.idx]
+	return a.cap - a.flow
+}
+
+// ZeroCapacity removes an arc from further consideration by setting its
+// capacity to its current flow.
+func (g *Graph) ZeroCapacity(id ArcID) {
+	a := &g.adj[id.node][id.idx]
+	a.cap = a.flow
+}
+
+// Reset clears all flow, preserving capacities.
+func (g *Graph) Reset() {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			g.adj[u][i].flow = 0
+		}
+	}
+}
+
+// Result reports the outcome of a min-cost flow computation.
+type Result struct {
+	// Flow is the amount actually routed (≤ the requested amount).
+	Flow int64
+	// Cost is the total cost of the routed flow.
+	Cost int64
+}
+
+const inf = int64(math.MaxInt64) / 4
+
+// MinCostFlow routes up to want units from s to t at minimum total cost,
+// augmenting along successive shortest paths. It returns the achieved flow
+// and its cost. Costs may be negative as long as the graph has no
+// negative-cost cycle.
+func (g *Graph) MinCostFlow(s, t int, want int64) (Result, error) {
+	n := len(g.adj)
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return Result{}, fmt.Errorf("mincostflow: bad endpoints %d,%d", s, t)
+	}
+	if s == t || want <= 0 {
+		return Result{}, nil
+	}
+	pot := make([]int64, n)
+	if g.hasNegativeCost() {
+		ok := g.bellmanFord(s, pot)
+		if !ok {
+			return Result{}, ErrNegativeCycle
+		}
+	}
+	var res Result
+	dist := make([]int64, n)
+	prevNode := make([]int, n)
+	prevArc := make([]int, n)
+	for res.Flow < want {
+		if !g.dijkstra(s, t, pot, dist, prevNode, prevArc) {
+			break // t unreachable in the residual graph
+		}
+		// Update potentials with the new shortest distances.
+		for v := 0; v < n; v++ {
+			if dist[v] < inf {
+				pot[v] += dist[v]
+			}
+		}
+		// Find the bottleneck along the path.
+		push := want - res.Flow
+		for v := t; v != s; v = prevNode[v] {
+			a := &g.adj[prevNode[v]][prevArc[v]]
+			if r := a.cap - a.flow; r < push {
+				push = r
+			}
+		}
+		// Apply the augmentation.
+		for v := t; v != s; v = prevNode[v] {
+			a := &g.adj[prevNode[v]][prevArc[v]]
+			a.flow += push
+			g.adj[v][a.rev].flow -= push
+			res.Cost += push * a.cost
+		}
+		res.Flow += push
+	}
+	return res, nil
+}
+
+func (g *Graph) hasNegativeCost() bool {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			a := g.adj[u][i]
+			if a.cap > a.flow && a.cost < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bellmanFord computes shortest distances from s over residual arcs into
+// pot. It returns false when a negative cycle is reachable.
+func (g *Graph) bellmanFord(s int, pot []int64) bool {
+	n := len(g.adj)
+	for i := range pot {
+		pot[i] = inf
+	}
+	pot[s] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if pot[u] == inf {
+				continue
+			}
+			for i := range g.adj[u] {
+				a := g.adj[u][i]
+				if a.cap <= a.flow {
+					continue
+				}
+				if nd := pot[u] + a.cost; nd < pot[a.to] {
+					pot[a.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+		if iter == n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+type pqItem struct {
+	node int
+	dist int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// dijkstra computes reduced-cost shortest paths from s; it returns true if
+// t is reachable.
+func (g *Graph) dijkstra(s, t int, pot, dist []int64, prevNode, prevArc []int) bool {
+	n := len(g.adj)
+	for i := 0; i < n; i++ {
+		dist[i] = inf
+		prevNode[i] = -1
+	}
+	dist[s] = 0
+	q := pq{{node: s, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		u := it.node
+		for i := range g.adj[u] {
+			a := g.adj[u][i]
+			if a.cap <= a.flow || pot[a.to] >= inf || pot[u] >= inf {
+				continue
+			}
+			rc := a.cost + pot[u] - pot[a.to]
+			if rc < 0 {
+				rc = 0 // guard against rounding in caller-scaled costs
+			}
+			if nd := dist[u] + rc; nd < dist[a.to] {
+				dist[a.to] = nd
+				prevNode[a.to] = u
+				prevArc[a.to] = i
+				heap.Push(&q, pqItem{node: a.to, dist: nd})
+			}
+		}
+	}
+	return dist[t] < inf
+}
+
+// PathFlow is one source-to-sink path carrying a positive amount of flow.
+type PathFlow struct {
+	Nodes  []int
+	Amount int64
+}
+
+// Decompose splits the current flow into s→t paths. The flow on the graph
+// is left untouched. Cycles in the flow (possible after cancelling) are
+// ignored.
+func (g *Graph) Decompose(s, t int) []PathFlow {
+	// Work on a copy of the per-arc flows.
+	rem := make([][]int64, len(g.adj))
+	for u := range g.adj {
+		rem[u] = make([]int64, len(g.adj[u]))
+		for i := range g.adj[u] {
+			rem[u][i] = g.adj[u][i].flow
+		}
+	}
+	var out []PathFlow
+	for {
+		// Greedy path trace following positive remaining flow.
+		path := []int{s}
+		arcIdx := []int{}
+		seen := map[int]bool{s: true}
+		u := s
+		for u != t {
+			found := -1
+			for i := range g.adj[u] {
+				if g.adj[u][i].cap > 0 && rem[u][i] > 0 { // forward arcs only
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return out // no more flow leaving u
+			}
+			v := g.adj[u][found].to
+			if seen[v] {
+				// Cycle: cancel it and restart.
+				rem[u][found] = 0
+				break
+			}
+			seen[v] = true
+			path = append(path, v)
+			arcIdx = append(arcIdx, found)
+			u = v
+		}
+		if u != t {
+			continue
+		}
+		amount := int64(math.MaxInt64)
+		for i, idx := range arcIdx {
+			if rem[path[i]][idx] < amount {
+				amount = rem[path[i]][idx]
+			}
+		}
+		if amount <= 0 {
+			return out
+		}
+		for i, idx := range arcIdx {
+			rem[path[i]][idx] -= amount
+		}
+		out = append(out, PathFlow{Nodes: path, Amount: amount})
+	}
+}

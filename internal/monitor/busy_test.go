@@ -1,0 +1,69 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBusyMeterHalfLoaded(t *testing.T) {
+	m := NewBusyMeter(16)
+	// One 50ms busy period completing every 100ms: 50% busy.
+	var now time.Duration
+	for i := 1; i <= 32; i++ {
+		now = time.Duration(i) * 100 * time.Millisecond
+		m.Observe(now, 50*time.Millisecond)
+	}
+	if got := m.Fraction(now); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("Fraction = %g, want ~0.5", got)
+	}
+}
+
+func TestBusyMeterSaturated(t *testing.T) {
+	m := NewBusyMeter(8)
+	// Back-to-back 100ms busy periods: fully busy.
+	var now time.Duration
+	for i := 1; i <= 16; i++ {
+		now = time.Duration(i) * 100 * time.Millisecond
+		m.Observe(now, 100*time.Millisecond)
+	}
+	if got := m.Fraction(now); math.Abs(got-1) > 0.05 {
+		t.Fatalf("Fraction = %g, want ~1", got)
+	}
+}
+
+func TestBusyMeterEmptyAndClamp(t *testing.T) {
+	m := NewBusyMeter(4)
+	if m.Fraction(0) != 0 {
+		t.Fatal("empty meter must report 0")
+	}
+	m.Observe(time.Second, time.Second)
+	if m.Fraction(time.Second) != 0 {
+		t.Fatal("single sample must report 0")
+	}
+	// Two samples at the same instant: saturated by convention.
+	m.Observe(time.Second, time.Second)
+	if m.Fraction(time.Second) != 1 {
+		t.Fatalf("zero-span Fraction = %g, want 1", m.Fraction(time.Second))
+	}
+}
+
+func TestNodeMonitorCPUReport(t *testing.T) {
+	m := NewNodeMonitor(1e6, 1e6, 8)
+	m.SetCPU(0.8)
+	var now time.Duration
+	for i := 1; i <= 16; i++ {
+		now = time.Duration(i) * 100 * time.Millisecond
+		m.ObserveBusy(now, 25*time.Millisecond)
+	}
+	r := m.Report(now)
+	if r.SpeedFactor != 0.8 {
+		t.Fatalf("SpeedFactor = %g", r.SpeedFactor)
+	}
+	if math.Abs(r.CPUFraction-0.25) > 0.05 {
+		t.Fatalf("CPUFraction = %g, want ~0.25", r.CPUFraction)
+	}
+	if math.Abs(r.AvailCPU()-0.75) > 0.05 {
+		t.Fatalf("AvailCPU = %g", r.AvailCPU())
+	}
+}

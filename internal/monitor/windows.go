@@ -1,0 +1,251 @@
+// Package monitor implements RASC's resource monitoring (§3.2): sliding
+// windows over the latest h data units that estimate arrival rates, drop
+// ratios, processing times and input/output bandwidth utilization, plus the
+// availability vector A_n published to composing nodes.
+package monitor
+
+import "time"
+
+// RateEstimator estimates an event rate from the timestamps of the most
+// recent h observations, exactly as the paper averages statistics "over a
+// window of size h, including the latest data units received".
+type RateEstimator struct {
+	samples []time.Duration
+	head    int
+	n       int
+}
+
+// NewRateEstimator creates an estimator with window size h (h >= 2).
+func NewRateEstimator(h int) *RateEstimator {
+	if h < 2 {
+		h = 2
+	}
+	return &RateEstimator{samples: make([]time.Duration, h)}
+}
+
+// Observe records an event at time t. Times must be non-decreasing.
+func (r *RateEstimator) Observe(t time.Duration) {
+	r.samples[r.head] = t
+	r.head = (r.head + 1) % len(r.samples)
+	if r.n < len(r.samples) {
+		r.n++
+	}
+}
+
+// Count returns the number of samples currently in the window.
+func (r *RateEstimator) Count() int { return r.n }
+
+// Rate returns events per second over the window, or 0 with fewer than two
+// samples.
+func (r *RateEstimator) Rate() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	newest := r.samples[(r.head-1+len(r.samples))%len(r.samples)]
+	oldest := r.samples[(r.head-r.n+len(r.samples))%len(r.samples)]
+	span := newest - oldest
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.n-1) / span.Seconds()
+}
+
+// Period returns the mean inter-arrival time, or 0 if unknown.
+func (r *RateEstimator) Period() time.Duration {
+	rate := r.Rate()
+	if rate == 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+// RatioWindow tracks the fraction of positive outcomes over the last h
+// observations (e.g. the drop ratio).
+type RatioWindow struct {
+	bits  []bool
+	head  int
+	n     int
+	trues int
+}
+
+// NewRatioWindow creates a window of size h (h >= 1).
+func NewRatioWindow(h int) *RatioWindow {
+	if h < 1 {
+		h = 1
+	}
+	return &RatioWindow{bits: make([]bool, h)}
+}
+
+// Observe records one outcome.
+func (w *RatioWindow) Observe(v bool) {
+	if w.n == len(w.bits) {
+		if w.bits[w.head] {
+			w.trues--
+		}
+	} else {
+		w.n++
+	}
+	w.bits[w.head] = v
+	if v {
+		w.trues++
+	}
+	w.head = (w.head + 1) % len(w.bits)
+}
+
+// Ratio returns the fraction of true outcomes in the window (0 when empty).
+func (w *RatioWindow) Ratio() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.trues) / float64(w.n)
+}
+
+// Count returns the number of observations in the window.
+func (w *RatioWindow) Count() int { return w.n }
+
+// DurationWindow tracks the mean of the last h durations (e.g. component
+// running time t_ci).
+type DurationWindow struct {
+	vals []time.Duration
+	head int
+	n    int
+	sum  time.Duration
+}
+
+// NewDurationWindow creates a window of size h (h >= 1).
+func NewDurationWindow(h int) *DurationWindow {
+	if h < 1 {
+		h = 1
+	}
+	return &DurationWindow{vals: make([]time.Duration, h)}
+}
+
+// Observe records one duration.
+func (w *DurationWindow) Observe(d time.Duration) {
+	if w.n == len(w.vals) {
+		w.sum -= w.vals[w.head]
+	} else {
+		w.n++
+	}
+	w.vals[w.head] = d
+	w.sum += d
+	w.head = (w.head + 1) % len(w.vals)
+}
+
+// Mean returns the mean duration in the window (0 when empty).
+func (w *DurationWindow) Mean() time.Duration {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / time.Duration(w.n)
+}
+
+// BusyMeter measures the fraction of time a single-server resource (the
+// node CPU) was busy, over a sliding window of the most recent h
+// completions.
+type BusyMeter struct {
+	times []time.Duration // completion times
+	busy  []time.Duration // busy duration of each completion
+	head  int
+	n     int
+	total time.Duration
+}
+
+// NewBusyMeter creates a meter with window size h (h >= 2).
+func NewBusyMeter(h int) *BusyMeter {
+	if h < 2 {
+		h = 2
+	}
+	return &BusyMeter{times: make([]time.Duration, h), busy: make([]time.Duration, h)}
+}
+
+// Observe records a completed busy period of length d ending at time t.
+func (m *BusyMeter) Observe(t, d time.Duration) {
+	if m.n == len(m.times) {
+		m.total -= m.busy[m.head]
+	} else {
+		m.n++
+	}
+	m.times[m.head] = t
+	m.busy[m.head] = d
+	m.total += d
+	m.head = (m.head + 1) % len(m.times)
+}
+
+// Fraction returns the busy fraction over the window ending at time now,
+// clamped to [0,1]; 0 with fewer than two samples. The estimate decays
+// once the CPU goes idle.
+func (m *BusyMeter) Fraction(now time.Duration) float64 {
+	if m.n < 2 {
+		return 0
+	}
+	oldestIdx := (m.head - m.n + len(m.times)) % len(m.times)
+	if newest := m.times[(m.head-1+len(m.times))%len(m.times)]; now < newest {
+		now = newest
+	}
+	span := now - m.times[oldestIdx]
+	if span <= 0 {
+		return 1 // back-to-back completions: saturated
+	}
+	f := float64(m.total-m.busy[oldestIdx]) / float64(span)
+	if f > 1 {
+		f = 1
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// ByteRateMeter measures a byte stream's bit rate over a sliding window of
+// the most recent h transfers.
+type ByteRateMeter struct {
+	times []time.Duration
+	bytes []int
+	head  int
+	n     int
+	total int64
+}
+
+// NewByteRateMeter creates a meter with window size h (h >= 2).
+func NewByteRateMeter(h int) *ByteRateMeter {
+	if h < 2 {
+		h = 2
+	}
+	return &ByteRateMeter{times: make([]time.Duration, h), bytes: make([]int, h)}
+}
+
+// Observe records size bytes transferred at time t.
+func (m *ByteRateMeter) Observe(t time.Duration, size int) {
+	if m.n == len(m.times) {
+		m.total -= int64(m.bytes[m.head])
+	} else {
+		m.n++
+	}
+	m.times[m.head] = t
+	m.bytes[m.head] = size
+	m.total += int64(size)
+	m.head = (m.head + 1) % len(m.times)
+}
+
+// Bps returns the observed rate in bits per second over the window ending
+// at time now, or 0 with fewer than two samples. Using the current time as
+// the window's end makes the estimate decay once traffic stops — a stale
+// window must not keep reporting its last throughput forever.
+func (m *ByteRateMeter) Bps(now time.Duration) float64 {
+	if m.n < 2 {
+		return 0
+	}
+	oldestIdx := (m.head - m.n + len(m.times)) % len(m.times)
+	oldest := m.times[oldestIdx]
+	if newest := m.times[(m.head-1+len(m.times))%len(m.times)]; now < newest {
+		now = newest
+	}
+	span := now - oldest
+	if span <= 0 {
+		return 0
+	}
+	// Exclude the oldest sample's bytes: they arrived before the span
+	// began.
+	return float64(m.total-int64(m.bytes[oldestIdx])) * 8 / span.Seconds()
+}

@@ -1,0 +1,175 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateEstimatorSteadyRate(t *testing.T) {
+	r := NewRateEstimator(16)
+	// 10 units/sec: one every 100ms.
+	for i := 0; i < 32; i++ {
+		r.Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	if got := r.Rate(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Rate = %g, want 10", got)
+	}
+	if got := r.Period(); got != 100*time.Millisecond {
+		t.Fatalf("Period = %v, want 100ms", got)
+	}
+}
+
+func TestRateEstimatorWindowForgets(t *testing.T) {
+	r := NewRateEstimator(8)
+	// Slow phase: 1 unit/sec.
+	for i := 0; i < 20; i++ {
+		r.Observe(time.Duration(i) * time.Second)
+	}
+	// Fast phase: 100 units/sec; after 8 observations the slow phase is
+	// fully evicted.
+	base := 20 * time.Second
+	for i := 0; i < 8; i++ {
+		r.Observe(base + time.Duration(i)*10*time.Millisecond)
+	}
+	if got := r.Rate(); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("Rate = %g, want 100 after window turnover", got)
+	}
+}
+
+func TestRateEstimatorDegenerate(t *testing.T) {
+	r := NewRateEstimator(4)
+	if r.Rate() != 0 || r.Period() != 0 {
+		t.Fatal("empty estimator must report 0")
+	}
+	r.Observe(time.Second)
+	if r.Rate() != 0 {
+		t.Fatal("single sample must report 0")
+	}
+	r.Observe(time.Second) // identical timestamps: zero span
+	if r.Rate() != 0 {
+		t.Fatal("zero span must report 0, not Inf")
+	}
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestRatioWindowBasics(t *testing.T) {
+	w := NewRatioWindow(4)
+	if w.Ratio() != 0 {
+		t.Fatal("empty ratio must be 0")
+	}
+	w.Observe(true)
+	w.Observe(false)
+	if got := w.Ratio(); got != 0.5 {
+		t.Fatalf("Ratio = %g, want 0.5", got)
+	}
+	// Fill with false; trues fall out of the window.
+	for i := 0; i < 4; i++ {
+		w.Observe(false)
+	}
+	if got := w.Ratio(); got != 0 {
+		t.Fatalf("Ratio = %g after eviction, want 0", got)
+	}
+	if w.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", w.Count())
+	}
+}
+
+// Property: RatioWindow matches a brute-force computation over the last h
+// observations.
+func TestRatioWindowMatchesBruteForce(t *testing.T) {
+	prop := func(obs []bool) bool {
+		const h = 7
+		w := NewRatioWindow(h)
+		for _, v := range obs {
+			w.Observe(v)
+		}
+		start := len(obs) - h
+		if start < 0 {
+			start = 0
+		}
+		trues, n := 0, 0
+		for _, v := range obs[start:] {
+			n++
+			if v {
+				trues++
+			}
+		}
+		want := 0.0
+		if n > 0 {
+			want = float64(trues) / float64(n)
+		}
+		return math.Abs(w.Ratio()-want) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationWindowMean(t *testing.T) {
+	w := NewDurationWindow(3)
+	if w.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	w.Observe(10 * time.Millisecond)
+	w.Observe(20 * time.Millisecond)
+	w.Observe(30 * time.Millisecond)
+	if got := w.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", got)
+	}
+	w.Observe(40 * time.Millisecond) // evicts 10ms
+	if got := w.Mean(); got != 30*time.Millisecond {
+		t.Fatalf("Mean = %v, want 30ms", got)
+	}
+}
+
+func TestByteRateMeter(t *testing.T) {
+	m := NewByteRateMeter(16)
+	if m.Bps(0) != 0 {
+		t.Fatal("empty meter must report 0")
+	}
+	// 1250 bytes every 100ms = 100 kbit/s.
+	var now time.Duration
+	for i := 0; i < 32; i++ {
+		now = time.Duration(i) * 100 * time.Millisecond
+		m.Observe(now, 1250)
+	}
+	if got := m.Bps(now); math.Abs(got-100_000) > 1 {
+		t.Fatalf("Bps = %g, want 100000", got)
+	}
+}
+
+func TestByteRateMeterZeroSpan(t *testing.T) {
+	m := NewByteRateMeter(4)
+	m.Observe(time.Second, 100)
+	m.Observe(time.Second, 100)
+	if got := m.Bps(time.Second); got != 0 {
+		t.Fatalf("Bps = %g for zero span, want 0", got)
+	}
+}
+
+func TestByteRateMeterDecaysWhenIdle(t *testing.T) {
+	m := NewByteRateMeter(16)
+	var now time.Duration
+	for i := 0; i < 32; i++ {
+		now = time.Duration(i) * 100 * time.Millisecond
+		m.Observe(now, 1250)
+	}
+	busy := m.Bps(now)
+	// Ten seconds of silence must decay the estimate dramatically.
+	idle := m.Bps(now + 10*time.Second)
+	if idle > busy/4 {
+		t.Fatalf("stale meter did not decay: busy %g, idle %g", busy, idle)
+	}
+}
+
+func TestWindowSizeClamps(t *testing.T) {
+	// Constructors must not panic or misbehave on tiny sizes.
+	NewRateEstimator(0).Observe(time.Second)
+	NewRatioWindow(0).Observe(true)
+	NewDurationWindow(-1).Observe(time.Second)
+	NewByteRateMeter(1).Observe(time.Second, 1)
+}

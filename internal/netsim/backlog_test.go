@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUplinkBacklogDropsDatagrams(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{
+		Latency:        fixedLatency(time.Millisecond),
+		MaxLinkBacklog: 50 * time.Millisecond,
+	})
+	a := nw.AddNode(1e5, 1e5) // 100 kbit/s: a 1250-byte message takes 100ms
+	b := nw.AddNode(1e7, 1e7)
+	delivered := 0
+	nw.SetHandler(b, func(NodeID, int, interface{}) { delivered++ })
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if nw.SendDroppable(a, b, 1250, i) {
+			accepted++
+		}
+	}
+	s.Run()
+	// First message starts serializing immediately; the second finds
+	// 100ms of backlog (> 50ms) and is dropped, as are the rest.
+	if accepted != 1 {
+		t.Fatalf("accepted %d datagrams, want 1", accepted)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+	if nw.Lost != 9 {
+		t.Fatalf("Lost = %d, want 9", nw.Lost)
+	}
+}
+
+func TestReliableSendNeverBacklogDropped(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{
+		Latency:        fixedLatency(time.Millisecond),
+		MaxLinkBacklog: 50 * time.Millisecond,
+	})
+	a := nw.AddNode(1e5, 1e5)
+	b := nw.AddNode(1e7, 1e7)
+	delivered := 0
+	nw.SetHandler(b, func(NodeID, int, interface{}) { delivered++ })
+	for i := 0; i < 10; i++ {
+		if !nw.Send(a, b, 1250, i) {
+			t.Fatal("reliable send reported rejection")
+		}
+	}
+	s.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d reliable messages, want 10", delivered)
+	}
+	if nw.Lost != 0 {
+		t.Fatalf("Lost = %d", nw.Lost)
+	}
+}
+
+func TestDownlinkBacklogNotifiesDropHandler(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{
+		Latency:        fixedLatency(time.Millisecond),
+		MaxLinkBacklog: 50 * time.Millisecond,
+	})
+	// Two fast senders swamp one slow receiver downlink.
+	a := nw.AddNode(1e8, 1e8)
+	b := nw.AddNode(1e8, 1e8)
+	c := nw.AddNode(1e8, 1e5) // 100 kbit/s downlink
+	delivered, droppedAtC := 0, 0
+	nw.SetHandler(c, func(NodeID, int, interface{}) { delivered++ })
+	nw.SetDropHandler(c, func(from NodeID, size int, payload interface{}) {
+		droppedAtC++
+		if size != 1250 {
+			t.Errorf("drop handler size = %d", size)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		nw.SendDroppable(a, c, 1250, i)
+		nw.SendDroppable(b, c, 1250, i)
+	}
+	s.Run()
+	if droppedAtC == 0 {
+		t.Fatal("drop handler never invoked")
+	}
+	if delivered+droppedAtC != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10", delivered, droppedAtC)
+	}
+	if nw.Lost != int64(droppedAtC) {
+		t.Fatalf("Lost = %d, want %d", nw.Lost, droppedAtC)
+	}
+}
+
+func TestCongestionJitterGrowsWithBacklog(t *testing.T) {
+	delaysFor := func(congJitter float64) []time.Duration {
+		s := New(5)
+		nw := NewNetwork(s, Config{
+			Latency:          fixedLatency(time.Millisecond),
+			CongestionJitter: congJitter,
+		})
+		a := nw.AddNode(1e5, 1e5) // slow uplink builds backlog
+		b := nw.AddNode(1e8, 1e8)
+		var arrivals []time.Duration
+		nw.SetHandler(b, func(NodeID, int, interface{}) { arrivals = append(arrivals, s.Now()) })
+		for i := 0; i < 10; i++ {
+			nw.SendDroppable(a, b, 1250, i)
+		}
+		s.Run()
+		return arrivals
+	}
+	plain := delaysFor(0)
+	jittered := delaysFor(1.0)
+	if len(plain) != 10 || len(jittered) != 10 {
+		t.Fatalf("deliveries: %d / %d", len(plain), len(jittered))
+	}
+	// With congestion jitter the later (more backlogged) messages must
+	// arrive strictly later than without it, on average.
+	var extra time.Duration
+	for i := 5; i < 10; i++ {
+		extra += jittered[i] - plain[i]
+	}
+	if extra <= 0 {
+		t.Fatalf("congestion jitter added no delay (sum %v)", extra)
+	}
+}
+
+func TestBackgroundFlowConsumesCapacity(t *testing.T) {
+	s := New(3)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(time.Millisecond)})
+	a := nw.AddNode(1e5, 1e5) // 100 kbit/s
+	b := nw.AddNode(1e7, 1e7)
+	// A 50 kbit/s background flow occupies half of a's uplink.
+	nw.AddBackgroundFlow(a, b, 5e4, 1250)
+	delivered := 0
+	nw.SetHandler(b, func(NodeID, int, interface{}) { delivered++ })
+	// Our own message now queues behind background packets: at t=1s,
+	// send one application message and measure its delay.
+	var appArrival time.Duration
+	s.At(time.Second, func() {
+		nw.SetHandler(b, func(_ NodeID, _ int, p interface{}) {
+			if p == "app" {
+				appArrival = s.Now()
+			}
+		})
+		nw.Send(a, b, 1250, "app")
+	})
+	s.RunUntil(3 * time.Second)
+	if appArrival == 0 {
+		t.Fatal("application message never delivered")
+	}
+	// Serialization alone is 100ms; queueing behind background packets
+	// must add delay beyond the bare 101ms minimum.
+	delay := appArrival - time.Second
+	if delay <= 101*time.Millisecond {
+		t.Fatalf("no queueing behind background flow: delay %v", delay)
+	}
+	// Background packets themselves must never reach the handler.
+	// (delivered counted only before the handler swap; the post-swap
+	// handler filters for the app payload explicitly.)
+}
+
+func TestBackgroundFlowInvisibleToHandlers(t *testing.T) {
+	s := New(4)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(time.Millisecond)})
+	a := nw.AddNode(1e6, 1e6)
+	b := nw.AddNode(1e6, 1e6)
+	got := 0
+	nw.SetHandler(b, func(NodeID, int, interface{}) { got++ })
+	nw.AddBackgroundFlow(a, b, 1e5, 1250)
+	s.RunUntil(2 * time.Second)
+	if got != 0 {
+		t.Fatalf("handler saw %d background packets", got)
+	}
+	if nw.Delivered == 0 {
+		t.Fatal("background flow never transmitted")
+	}
+}
+
+// TestQueueingDelayMonotoneInUtilization: the access-link model must show
+// the fundamental queueing behaviour — mean delivery delay grows
+// monotonically (and sharply near saturation) with offered load.
+func TestQueueingDelayMonotoneInUtilization(t *testing.T) {
+	meanDelay := func(utilization float64) time.Duration {
+		s := New(8)
+		nw := NewNetwork(s, Config{Latency: fixedLatency(time.Millisecond)})
+		a := nw.AddNode(1e6, 1e6) // 1 Mbps uplink
+		b := nw.AddNode(1e8, 1e8)
+		var total time.Duration
+		var count int
+		sendTimes := map[int]time.Duration{}
+		nw.SetHandler(b, func(_ NodeID, _ int, p interface{}) {
+			total += s.Now() - sendTimes[p.(int)]
+			count++
+		})
+		// Offered load: utilization × capacity with ±50% jittered gaps.
+		unit := 1250 // 10 kbit
+		meanGap := time.Duration(float64(10*time.Millisecond) / utilization)
+		rng := s.Rand()
+		at := time.Duration(0)
+		for i := 0; i < 400; i++ {
+			i := i
+			at += meanGap/2 + time.Duration(rng.Int63n(int64(meanGap)))
+			s.At(at, func() {
+				sendTimes[i] = s.Now()
+				nw.Send(a, b, unit, i)
+			})
+		}
+		s.Run()
+		if count == 0 {
+			t.Fatal("nothing delivered")
+		}
+		return total / time.Duration(count)
+	}
+	low := meanDelay(0.3)
+	mid := meanDelay(0.7)
+	high := meanDelay(1.05) // transient overload
+	if !(low < mid && mid < high) {
+		t.Fatalf("delay not monotone in utilization: %v, %v, %v", low, mid, high)
+	}
+	if high < 2*low {
+		t.Fatalf("no queueing blow-up near saturation: low %v, high %v", low, high)
+	}
+}
+
+func TestPartitionBlocksBothDirections(t *testing.T) {
+	s := New(6)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(time.Millisecond)})
+	a := nw.AddNode(1e7, 1e7)
+	b := nw.AddNode(1e7, 1e7)
+	delivered := 0
+	nw.SetHandler(a, func(NodeID, int, interface{}) { delivered++ })
+	nw.SetHandler(b, func(NodeID, int, interface{}) { delivered++ })
+	nw.SetPartition(a, b, true)
+	nw.Send(a, b, 100, nil)
+	nw.SendDroppable(b, a, 100, nil)
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("partitioned pair delivered %d messages", delivered)
+	}
+	// Healing the partition restores delivery.
+	nw.SetPartition(a, b, false)
+	nw.Send(a, b, 100, nil)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("after healing delivered %d, want 1", delivered)
+	}
+}

@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedLatency(d time.Duration) func(a, b NodeID) time.Duration {
+	return func(a, b NodeID) time.Duration { return d }
+}
+
+func TestSendDeliveryTime(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(10 * time.Millisecond)})
+	a := nw.AddNode(1e6, 1e6) // 1 Mbps both ways
+	b := nw.AddNode(1e6, 1e6)
+	var arrived time.Duration = -1
+	nw.SetHandler(b, func(from NodeID, size int, payload interface{}) {
+		arrived = s.Now()
+		if from != a {
+			t.Errorf("from = %v, want %v", from, a)
+		}
+		if size != 12500 {
+			t.Errorf("size = %d, want 12500", size)
+		}
+		if payload.(string) != "hello" {
+			t.Errorf("payload = %v", payload)
+		}
+	})
+	// 12500 bytes = 100000 bits -> 100ms serialization at 1 Mbps on each
+	// link, plus 10ms propagation: 210ms total.
+	nw.Send(a, b, 12500, "hello")
+	s.Run()
+	if arrived != 210*time.Millisecond {
+		t.Fatalf("arrival = %v, want 210ms", arrived)
+	}
+}
+
+func TestSendFIFOSerialization(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(0)})
+	a := nw.AddNode(1e6, 1e6)
+	b := nw.AddNode(1e8, 1e8) // fast receiver so uplink dominates
+	var arrivals []time.Duration
+	nw.SetHandler(b, func(from NodeID, size int, payload interface{}) {
+		arrivals = append(arrivals, s.Now())
+	})
+	// Two back-to-back 12500-byte messages on a 1 Mbps uplink serialize
+	// at 100ms and 200ms.
+	nw.Send(a, b, 12500, 1)
+	nw.Send(a, b, 12500, 2)
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap < 99*time.Millisecond || gap > 101*time.Millisecond {
+		t.Fatalf("inter-arrival gap = %v, want ~100ms (uplink FIFO)", gap)
+	}
+}
+
+func TestLocalSendSkipsLinks(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(50 * time.Millisecond)})
+	a := nw.AddNode(1e3, 1e3) // tiny links would take ages
+	got := false
+	nw.SetHandler(a, func(from NodeID, size int, payload interface{}) { got = true })
+	nw.Send(a, a, 1e6, nil)
+	s.Run()
+	if !got {
+		t.Fatal("local message not delivered")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("local delivery took %v, want 0", s.Now())
+	}
+	if nw.BytesSent(a) != 0 {
+		t.Fatalf("local send consumed uplink bytes: %d", nw.BytesSent(a))
+	}
+}
+
+func TestLossRateDropsEverything(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(0), LossRate: 1.0})
+	a := nw.AddNode(1e6, 1e6)
+	b := nw.AddNode(1e6, 1e6)
+	delivered := 0
+	nw.SetHandler(b, func(NodeID, int, interface{}) { delivered++ })
+	for i := 0; i < 50; i++ {
+		nw.SendDroppable(a, b, 100, nil)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages with loss rate 1.0", delivered)
+	}
+	if nw.Lost != 50 {
+		t.Fatalf("Lost = %d, want 50", nw.Lost)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: fixedLatency(time.Millisecond)})
+	a := nw.AddNode(1e6, 1e6)
+	b := nw.AddNode(1e6, 1e6)
+	nw.Send(a, b, 1000, nil)
+	nw.Send(a, b, 500, nil)
+	s.Run()
+	if nw.BytesSent(a) != 1500 {
+		t.Fatalf("BytesSent(a) = %d, want 1500", nw.BytesSent(a))
+	}
+	if nw.BytesReceived(b) != 1500 {
+		t.Fatalf("BytesReceived(b) = %d, want 1500", nw.BytesReceived(b))
+	}
+}
+
+func TestJitterBoundsDelay(t *testing.T) {
+	s := New(7)
+	jit := 30 * time.Millisecond
+	nw := NewNetwork(s, Config{Latency: fixedLatency(10 * time.Millisecond), Jitter: jit})
+	a := nw.AddNode(1e9, 1e9) // negligible serialization
+	b := nw.AddNode(1e9, 1e9)
+	var arrivals []time.Duration
+	nw.SetHandler(b, func(NodeID, int, interface{}) { arrivals = append(arrivals, s.Now()) })
+	sendAt := make([]time.Duration, 0, 100)
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * time.Second
+		sendAt = append(sendAt, at)
+		s.At(at, func() { nw.Send(a, b, 10, nil) })
+	}
+	s.Run()
+	if len(arrivals) != 100 {
+		t.Fatalf("delivered %d, want 100", len(arrivals))
+	}
+	for i, arr := range arrivals {
+		d := arr - sendAt[i]
+		if d < 10*time.Millisecond || d >= 10*time.Millisecond+jit+time.Millisecond {
+			t.Fatalf("message %d delay %v outside [10ms, 40ms)", i, d)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(99)
+		nw := NewNetwork(s, Config{Latency: fixedLatency(5 * time.Millisecond), Jitter: 20 * time.Millisecond, LossRate: 0.1})
+		a := nw.AddNode(1e6, 1e6)
+		b := nw.AddNode(1e6, 1e6)
+		var arrivals []time.Duration
+		nw.SetHandler(b, func(NodeID, int, interface{}) { arrivals = append(arrivals, s.Now()) })
+		for i := 0; i < 200; i++ {
+			s.At(time.Duration(i)*10*time.Millisecond, func() { nw.Send(a, b, 300, nil) })
+		}
+		s.Run()
+		return arrivals
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// Property: delivery time is always at least serialization+propagation and
+// message payloads arrive intact in FIFO order per sender.
+func TestDeliveryOrderProperty(t *testing.T) {
+	prop := func(sizes []uint16, seed int64) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		s := New(seed)
+		nw := NewNetwork(s, Config{Latency: fixedLatency(3 * time.Millisecond)})
+		a := nw.AddNode(5e5, 5e5)
+		b := nw.AddNode(5e5, 5e5)
+		var got []int
+		nw.SetHandler(b, func(_ NodeID, _ int, p interface{}) { got = append(got, p.(int)) })
+		for i, sz := range sizes {
+			nw.Send(a, b, int(sz)+1, i)
+		}
+		s.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanetLabTopologyShape(t *testing.T) {
+	cfg := TopologyConfig{Nodes: 32}
+	topo := PlanetLabTopology(cfg, 5)
+	if len(topo.UpBps) != 32 || len(topo.DownBps) != 32 || len(topo.LatencyMatrix) != 32 {
+		t.Fatal("topology has wrong dimensions")
+	}
+	for i := 0; i < 32; i++ {
+		if topo.UpBps[i] < 2e6 || topo.UpBps[i] > 10e6 {
+			t.Fatalf("node %d up capacity %g outside [2e6,10e6]", i, topo.UpBps[i])
+		}
+		if topo.LatencyMatrix[i][i] != 0 {
+			t.Fatalf("self latency nonzero for %d", i)
+		}
+		for j := 0; j < 32; j++ {
+			if topo.LatencyMatrix[i][j] != topo.LatencyMatrix[j][i] {
+				t.Fatalf("latency not symmetric at (%d,%d)", i, j)
+			}
+			if i != j && topo.LatencyMatrix[i][j] <= 0 {
+				t.Fatalf("non-positive latency at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Same seed reproduces, different seed differs somewhere.
+	topo2 := PlanetLabTopology(cfg, 5)
+	if topo2.UpBps[3] != topo.UpBps[3] {
+		t.Fatal("same seed produced different topology")
+	}
+	topo3 := PlanetLabTopology(cfg, 6)
+	same := true
+	for i := range topo.UpBps {
+		if topo.UpBps[i] != topo3.UpBps[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical capacities")
+	}
+}
+
+func TestTopologyBuild(t *testing.T) {
+	topo := PlanetLabTopology(TopologyConfig{Nodes: 8}, 1)
+	s := New(1)
+	nw := NewNetwork(s, Config{Latency: topo.LatencyFunc()})
+	ids := topo.Build(nw)
+	if len(ids) != 8 || nw.NumNodes() != 8 {
+		t.Fatalf("built %d nodes, want 8", nw.NumNodes())
+	}
+	if nw.UpCapacity(ids[2]) != topo.UpBps[2] {
+		t.Fatal("capacities not applied")
+	}
+	if nw.Latency(ids[1], ids[5]) != topo.LatencyMatrix[1][5] {
+		t.Fatal("latency function not applied")
+	}
+}

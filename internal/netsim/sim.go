@@ -1,0 +1,116 @@
+// Package netsim provides a deterministic discrete-event network simulator.
+//
+// It stands in for the PlanetLab testbed used in the RASC paper: nodes are
+// connected by access links with finite input/output bandwidth, and pairs of
+// nodes are separated by a wide-area latency matrix with jitter. All events
+// run on a virtual clock in a single goroutine, ordered by (time, sequence),
+// so a simulation with a fixed seed is exactly reproducible.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; create one with New.
+type Simulator struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (time elapsed since the simulation
+// started).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero. Events scheduled for the same instant run in scheduling order.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. If t is in the past, fn runs "now"
+// (at the current time, after already-pending events for this instant).
+func (s *Simulator) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled after t remain pending.
+func (s *Simulator) RunUntil(t time.Duration) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > t {
+			break
+		}
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Stop halts the current Run/RunUntil after the in-flight event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending reports the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.events) }

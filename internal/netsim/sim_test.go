@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimulatorRunsEventsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimulatorSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(2*time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 3*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSimulatorNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock moved backwards or forwards: %v", s.Now())
+	}
+}
+
+func TestSimulatorAtPastClampsToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.Schedule(10*time.Millisecond, func() {
+		s.At(2*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past-scheduled event ran at %v, want 10ms", at)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("after Run, ran %d events, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	s := New(1)
+	s.RunUntil(time.Second)
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if i == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events before stop, want 3", count)
+	}
+}
+
+// Property: for any set of non-negative delays, Run visits them in
+// non-decreasing time order and finishes with the clock at the max delay.
+func TestSimulatorOrderProperty(t *testing.T) {
+	prop := func(delaysMs []uint16) bool {
+		s := New(42)
+		var max time.Duration
+		var seen []time.Duration
+		for _, d := range delaysMs {
+			delay := time.Duration(d) * time.Millisecond
+			if delay > max {
+				max = delay
+			}
+			s.Schedule(delay, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		if len(seen) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(delaysMs) == 0 || s.Now() == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Topology describes a generated wide-area deployment: per-node access link
+// capacities and a full latency matrix.
+type Topology struct {
+	// UpBps and DownBps are access link capacities in bits per second.
+	UpBps, DownBps []float64
+	// LatencyMatrix holds one-way propagation delays, indexed [a][b].
+	LatencyMatrix [][]time.Duration
+	// Site assigns each node to a geographic cluster.
+	Site []int
+}
+
+// TopologyConfig parameterizes PlanetLabTopology.
+type TopologyConfig struct {
+	Nodes int
+	// Sites is the number of geographic clusters nodes are spread over.
+	// Defaults to 6 (roughly: US-East/West, EU x2, Asia x2).
+	Sites int
+	// MinBps and MaxBps bound per-node access capacity (both directions).
+	// Default 2e6..10e6 (2..10 Mbps), matching slice-limited PlanetLab
+	// hosts of the era.
+	MinBps, MaxBps float64
+	// IntraSite and InterSite bound latencies inside and across sites.
+	// Defaults: 2..15 ms intra, 40..160 ms inter.
+	IntraSiteMin, IntraSiteMax time.Duration
+	InterSiteMin, InterSiteMax time.Duration
+}
+
+func (c *TopologyConfig) defaults() {
+	if c.Sites <= 0 {
+		c.Sites = 6
+	}
+	if c.MinBps <= 0 {
+		c.MinBps = 2e6
+	}
+	if c.MaxBps <= 0 {
+		c.MaxBps = 10e6
+	}
+	if c.IntraSiteMin <= 0 {
+		c.IntraSiteMin = 2 * time.Millisecond
+	}
+	if c.IntraSiteMax <= 0 {
+		c.IntraSiteMax = 15 * time.Millisecond
+	}
+	if c.InterSiteMin <= 0 {
+		c.InterSiteMin = 40 * time.Millisecond
+	}
+	if c.InterSiteMax <= 0 {
+		c.InterSiteMax = 160 * time.Millisecond
+	}
+}
+
+// PlanetLabTopology generates a wide-area topology reminiscent of a
+// PlanetLab slice: heterogeneous access bandwidth and clustered latencies.
+// The same seed always yields the same topology.
+func PlanetLabTopology(cfg TopologyConfig, seed int64) *Topology {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Nodes
+	t := &Topology{
+		UpBps:         make([]float64, n),
+		DownBps:       make([]float64, n),
+		LatencyMatrix: make([][]time.Duration, n),
+		Site:          make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Site[i] = i % cfg.Sites
+		t.UpBps[i] = cfg.MinBps + rng.Float64()*(cfg.MaxBps-cfg.MinBps)
+		t.DownBps[i] = cfg.MinBps + rng.Float64()*(cfg.MaxBps-cfg.MinBps)
+		t.LatencyMatrix[i] = make([]time.Duration, n)
+	}
+	randDur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+	// Pairwise site latencies are symmetric; per-pair node latency adds a
+	// small last-mile component.
+	siteLat := make([][]time.Duration, cfg.Sites)
+	for i := range siteLat {
+		siteLat[i] = make([]time.Duration, cfg.Sites)
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		for j := i + 1; j < cfg.Sites; j++ {
+			l := randDur(cfg.InterSiteMin, cfg.InterSiteMax)
+			siteLat[i][j], siteLat[j][i] = l, l
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			var l time.Duration
+			if t.Site[a] == t.Site[b] {
+				l = randDur(cfg.IntraSiteMin, cfg.IntraSiteMax)
+			} else {
+				l = siteLat[t.Site[a]][t.Site[b]] + randDur(cfg.IntraSiteMin, cfg.IntraSiteMax)
+			}
+			t.LatencyMatrix[a][b], t.LatencyMatrix[b][a] = l, l
+		}
+	}
+	return t
+}
+
+// Build attaches every topology node to the network nw and returns their
+// IDs in order.
+func (t *Topology) Build(nw *Network) []NodeID {
+	ids := make([]NodeID, len(t.UpBps))
+	for i := range t.UpBps {
+		ids[i] = nw.AddNode(t.UpBps[i], t.DownBps[i])
+	}
+	return ids
+}
+
+// LatencyFunc adapts the topology's matrix to the Network Config signature.
+func (t *Topology) LatencyFunc() func(a, b NodeID) time.Duration {
+	return func(a, b NodeID) time.Duration { return t.LatencyMatrix[a][b] }
+}

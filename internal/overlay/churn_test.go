@@ -1,0 +1,125 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// buildShuffled joins n nodes in a random order through random bootstrap
+// peers and returns the nodes plus the simulator.
+func buildShuffled(t *testing.T, n int, seed int64) ([]*Node, *netsim.Simulator) {
+	t.Helper()
+	sim := netsim.New(seed)
+	nw := netsim.NewNetwork(sim, netsim.Config{
+		Latency: func(a, b netsim.NodeID) time.Duration { return 8 * time.Millisecond },
+	})
+	mem := transport.NewMemNetwork(nw)
+	clk := clock.Sim{S: sim}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := HashID(fmt.Sprintf("churn-%d-%d", seed, i))
+		nodes[i] = NewNode(id, mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+	}
+	order := rng.Perm(n)
+	joined := []*Node{nodes[order[0]]}
+	nodes[order[0]].Bootstrap()
+	for _, idx := range order[1:] {
+		boot := joined[rng.Intn(len(joined))]
+		nodes[idx].Join(boot.Addr(), nil)
+		sim.Run()
+		joined = append(joined, nodes[idx])
+	}
+	for round := 0; round < 2; round++ {
+		for _, nd := range nodes {
+			nd.Stabilize()
+		}
+		sim.Run()
+	}
+	return nodes, sim
+}
+
+// Property: regardless of join order and bootstrap choice, routing
+// converges to the globally closest node for every key.
+func TestRandomJoinOrderConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		nodes, sim := buildShuffled(t, 20, seed)
+		root := func(key ID) *Node {
+			best := nodes[0]
+			for _, nd := range nodes[1:] {
+				if Closer(key, nd.ID(), best.ID()) {
+					best = nd
+				}
+			}
+			return best
+		}
+		for trial := 0; trial < 25; trial++ {
+			key := HashID(fmt.Sprintf("churn-key-%d-%d", seed, trial))
+			var deliveredAt *Node
+			for _, nd := range nodes {
+				nd := nd
+				nd.Register("churn", func(k ID, src NodeInfo, body []byte) { deliveredAt = nd })
+			}
+			nodes[trial%len(nodes)].Route(key, "churn", nil)
+			sim.Run()
+			if deliveredAt != root(key) {
+				t.Fatalf("seed %d key %v delivered at %v, want %v",
+					seed, key, deliveredAt.ID(), root(key).ID())
+			}
+		}
+	}
+}
+
+// TestRoutingSurvivesNodeRemoval removes a peer from everyone's state and
+// verifies keys still converge among the survivors.
+func TestRoutingSurvivesNodeRemoval(t *testing.T) {
+	nodes, sim := buildShuffled(t, 16, 9)
+	dead := nodes[7]
+	survivors := append(append([]*Node{}, nodes[:7]...), nodes[8:]...)
+	for _, nd := range survivors {
+		nd.RemovePeer(dead.ID())
+	}
+	// Re-stabilize among survivors.
+	for _, nd := range survivors {
+		nd.Stabilize()
+	}
+	sim.Run()
+	// Drop anything the dead node might have re-gossiped.
+	for _, nd := range survivors {
+		nd.RemovePeer(dead.ID())
+	}
+	root := func(key ID) *Node {
+		best := survivors[0]
+		for _, nd := range survivors[1:] {
+			if Closer(key, nd.ID(), best.ID()) {
+				best = nd
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 20; trial++ {
+		key := HashID(fmt.Sprintf("removal-key-%d", trial))
+		var deliveredAt *Node
+		for _, nd := range survivors {
+			nd := nd
+			nd.Register("rm", func(k ID, src NodeInfo, body []byte) { deliveredAt = nd })
+		}
+		dead.Register("rm", func(k ID, src NodeInfo, body []byte) {
+			t.Fatal("routed to removed node")
+		})
+		survivors[trial%len(survivors)].Route(key, "rm", nil)
+		sim.Run()
+		if deliveredAt == nil {
+			t.Fatalf("key %v lost after removal", key)
+		}
+		if deliveredAt != root(key) {
+			t.Fatalf("key %v delivered at %v, want %v", key, deliveredAt.ID(), root(key).ID())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package overlay
+
+import (
+	"testing"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// FuzzParseID exercises the ID text codec with arbitrary input: it must
+// never panic, and every successfully parsed ID must round-trip.
+func FuzzParseID(f *testing.F) {
+	f.Add("0123456789abcdef0123456789abcdef")
+	f.Add("")
+	f.Add("zz")
+	f.Add("0123456789ABCDEF0123456789ABCDEF")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseID(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseID(id.String())
+		if err != nil || back != id {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}
+
+// FuzzOnMessage delivers arbitrary bytes as an overlay message: malformed
+// frames must be dropped without panicking or corrupting state.
+func FuzzOnMessage(f *testing.F) {
+	f.Add([]byte(`{"k":"route","a":"x"}`))
+	f.Add([]byte(`{"k":"join"}`))
+	f.Add([]byte(`{"k":"resp","r":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"k":"req","a":"missing","r":9}`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		sim := netsim.New(1)
+		nw := netsim.NewNetwork(sim, netsim.Config{})
+		mem := transport.NewMemNetwork(nw)
+		clk := clock.Sim{S: sim}
+		a := NewNode(HashID("fuzz-a"), mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+		b := NewNode(HashID("fuzz-b"), mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+		a.Bootstrap()
+		b.Join(a.Addr(), nil)
+		sim.Run()
+		// Inject the raw payload directly into b's handler.
+		b.onMessage(a.Addr(), transport.Message{Type: msgType, Payload: payload})
+		sim.RunUntil(sim.Now() + 10e9)
+		// The node must still route afterwards.
+		delivered := false
+		b.Register("after", func(ID, NodeInfo, []byte) { delivered = true })
+		b.Route(b.ID(), "after", nil)
+		sim.RunUntil(sim.Now() + 10e9)
+		if !delivered {
+			t.Fatal("node stopped routing after malformed input")
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIDDeterministic(t *testing.T) {
+	a, b := HashID("transcode"), HashID("transcode")
+	if a != b {
+		t.Fatal("HashID not deterministic")
+	}
+	if HashID("transcode") == HashID("filter") {
+		t.Fatal("different names collided")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		id := RandomID(rng)
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Fatalf("round trip: %v != %v", got, id)
+		}
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Fatal("expected error for bad hex")
+	}
+	if _, err := ParseID("abcd"); err == nil {
+		t.Fatal("expected error for short ID")
+	}
+}
+
+func TestDigit(t *testing.T) {
+	var id ID
+	id[0] = 0xAB
+	id[15] = 0xCD
+	if id.Digit(0) != 0xA || id.Digit(1) != 0xB {
+		t.Fatalf("first byte digits = %x %x", id.Digit(0), id.Digit(1))
+	}
+	if id.Digit(30) != 0xC || id.Digit(31) != 0xD {
+		t.Fatalf("last byte digits = %x %x", id.Digit(30), id.Digit(31))
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a, _ := ParseID("a0000000000000000000000000000000")
+	b, _ := ParseID("a0010000000000000000000000000000")
+	if got := a.CommonPrefixLen(b); got != 3 {
+		t.Fatalf("cpl = %d, want 3", got)
+	}
+	if got := a.CommonPrefixLen(a); got != NumDigits {
+		t.Fatalf("cpl(self) = %d, want %d", got, NumDigits)
+	}
+	c, _ := ParseID("b0000000000000000000000000000000")
+	if got := a.CommonPrefixLen(c); got != 0 {
+		t.Fatalf("cpl = %d, want 0", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, _ := ParseID("00000000000000000000000000000001")
+	b, _ := ParseID("00000000000000000000000000000002")
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp ordering wrong")
+	}
+}
+
+func TestRingDistWraparound(t *testing.T) {
+	// Distance between 0x00..00 and 0xff..ff is 1 (one step
+	// counter-clockwise), not 2^128-1.
+	var zero ID
+	var max ID
+	for i := range max {
+		max[i] = 0xff
+	}
+	d := RingDist(zero, max)
+	var one ID
+	one[IDBytes-1] = 1
+	if d != one {
+		t.Fatalf("RingDist(0, max) = %v, want 1", d)
+	}
+}
+
+// Property: ring distance is symmetric, zero iff equal, and bounded by half
+// the ring.
+func TestRingDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var half ID
+	half[0] = 0x80
+	for i := 0; i < 500; i++ {
+		a, b := RandomID(rng), RandomID(rng)
+		dab, dba := RingDist(a, b), RingDist(b, a)
+		if dab != dba {
+			t.Fatalf("RingDist not symmetric for %v,%v", a, b)
+		}
+		var zero ID
+		if (a == b) != (dab == zero) {
+			t.Fatal("RingDist zero iff equal violated")
+		}
+		if dab.Cmp(half) > 0 {
+			t.Fatalf("RingDist %v exceeds half ring", dab)
+		}
+	}
+}
+
+// Property: CWDist(a,b) + CWDist(b,a) == 0 mod 2^128 for a != b.
+func TestCWDistComplement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := RandomID(rng), RandomID(rng)
+		if a == b {
+			return true
+		}
+		s := sub(CWDist(a, b), sub(ID{}, CWDist(b, a)))
+		var zero ID
+		return s == zero
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloserTieBreak(t *testing.T) {
+	// key equidistant between x and y: the numerically smaller wins.
+	key, _ := ParseID("00000000000000000000000000000010")
+	x, _ := ParseID("0000000000000000000000000000000c")
+	y, _ := ParseID("00000000000000000000000000000014")
+	if !Closer(key, x, y) {
+		t.Fatal("tie should break toward numerically smaller ID")
+	}
+	if Closer(key, y, x) {
+		t.Fatal("Closer must be asymmetric on ties")
+	}
+}
+
+func TestMarshalText(t *testing.T) {
+	id := HashID("svc")
+	b, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ID
+	if err := got.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatal("MarshalText round trip failed")
+	}
+	if err := got.UnmarshalText([]byte("nothex")); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}

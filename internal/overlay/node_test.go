@@ -1,0 +1,229 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// cluster builds n overlay nodes on a simulated network and joins them
+// sequentially through node 0.
+type cluster struct {
+	sim   *netsim.Simulator
+	nodes []*Node
+}
+
+func newCluster(t *testing.T, n int, seed int64) *cluster {
+	t.Helper()
+	sim := netsim.New(seed)
+	nw := netsim.NewNetwork(sim, netsim.Config{
+		Latency: func(a, b netsim.NodeID) time.Duration { return 10 * time.Millisecond },
+	})
+	mem := transport.NewMemNetwork(nw)
+	clk := clock.Sim{S: sim}
+	c := &cluster{sim: sim}
+	for i := 0; i < n; i++ {
+		id := HashID(fmt.Sprintf("node-%d", i))
+		ep := mem.Endpoint(nw.AddNode(1e8, 1e8))
+		c.nodes = append(c.nodes, NewNode(id, ep, clk))
+	}
+	c.nodes[0].Bootstrap()
+	for i := 1; i < n; i++ {
+		c.nodes[i].Join(c.nodes[0].Addr(), nil)
+		sim.Run() // quiesce between joins for determinism
+	}
+	for _, nd := range c.nodes {
+		nd.Stabilize()
+	}
+	sim.Run()
+	for i, nd := range c.nodes {
+		if !nd.Joined() {
+			t.Fatalf("node %d failed to join", i)
+		}
+	}
+	return c
+}
+
+// root returns the cluster node whose ID is closest to key.
+func (c *cluster) root(key ID) *Node {
+	best := c.nodes[0]
+	for _, nd := range c.nodes[1:] {
+		if Closer(key, nd.ID(), best.ID()) {
+			best = nd
+		}
+	}
+	return best
+}
+
+func TestJoinBuildsState(t *testing.T) {
+	c := newCluster(t, 16, 1)
+	for i, nd := range c.nodes {
+		if nd.NumKnown() < 8 {
+			t.Fatalf("node %d knows only %d peers", i, nd.NumKnown())
+		}
+		if nd.leaf.size() == 0 {
+			t.Fatalf("node %d has empty leaf set", i)
+		}
+	}
+}
+
+func TestRouteReachesRoot(t *testing.T) {
+	c := newCluster(t, 24, 2)
+	for trial := 0; trial < 60; trial++ {
+		key := HashID(fmt.Sprintf("key-%d", trial))
+		want := c.root(key)
+		var deliveredAt *Node
+		for _, nd := range c.nodes {
+			nd := nd
+			nd.Register("test", func(k ID, src NodeInfo, body []byte) {
+				if k == key {
+					deliveredAt = nd
+				}
+			})
+		}
+		src := c.nodes[trial%len(c.nodes)]
+		src.Route(key, "test", []byte("payload"))
+		c.sim.Run()
+		if deliveredAt == nil {
+			t.Fatalf("key %v never delivered", key)
+		}
+		if deliveredAt != want {
+			t.Fatalf("key %v delivered at %v, want root %v", key, deliveredAt.ID(), want.ID())
+		}
+	}
+}
+
+func TestRouteFromRootDeliversLocally(t *testing.T) {
+	c := newCluster(t, 8, 3)
+	key := HashID("local-key")
+	root := c.root(key)
+	got := false
+	root.Register("test", func(k ID, src NodeInfo, body []byte) { got = true })
+	root.Route(key, "test", nil)
+	c.sim.Run()
+	if !got {
+		t.Fatal("root did not deliver its own key locally")
+	}
+}
+
+func TestRouteHopCountLogarithmic(t *testing.T) {
+	c := newCluster(t, 32, 4)
+	var totalForwarded int64
+	for _, nd := range c.nodes {
+		nd.Register("test", func(ID, NodeInfo, []byte) {})
+		nd.Forwarded = 0
+	}
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		key := HashID(fmt.Sprintf("hops-%d", trial))
+		c.nodes[trial%len(c.nodes)].Route(key, "test", nil)
+	}
+	c.sim.Run()
+	for _, nd := range c.nodes {
+		totalForwarded += nd.Forwarded
+	}
+	avg := float64(totalForwarded) / trials
+	// For N=32, b=4: expected ~log_16(32) ≈ 1.25 hops; allow generous slack.
+	if avg > 4 {
+		t.Fatalf("average hop count %.2f too high for 32 nodes", avg)
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	c := newCluster(t, 4, 5)
+	server := c.nodes[2]
+	server.RegisterRequest("echo", func(from NodeInfo, body []byte, respond func([]byte, string)) {
+		respond(append([]byte("echo:"), body...), "")
+	})
+	var got []byte
+	var gotErr error
+	c.nodes[0].Request(server.Addr(), "echo", []byte("hi"), time.Second, func(body []byte, err error) {
+		got, gotErr = body, err
+	})
+	c.sim.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if string(got) != "echo:hi" {
+		t.Fatalf("response = %q", got)
+	}
+}
+
+func TestRequestErrorPropagates(t *testing.T) {
+	c := newCluster(t, 3, 6)
+	server := c.nodes[1]
+	server.RegisterRequest("fail", func(from NodeInfo, body []byte, respond func([]byte, string)) {
+		respond(nil, "boom")
+	})
+	var gotErr error
+	c.nodes[0].Request(server.Addr(), "fail", nil, time.Second, func(body []byte, err error) { gotErr = err })
+	c.sim.Run()
+	if gotErr == nil || gotErr.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", gotErr)
+	}
+}
+
+func TestRequestUnknownAppErrors(t *testing.T) {
+	c := newCluster(t, 3, 7)
+	var gotErr error
+	c.nodes[0].Request(c.nodes[1].Addr(), "nonexistent", nil, time.Second, func(body []byte, err error) { gotErr = err })
+	c.sim.Run()
+	if gotErr == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	c := newCluster(t, 3, 8)
+	// A handler that never responds.
+	c.nodes[1].RegisterRequest("black-hole", func(NodeInfo, []byte, func([]byte, string)) {})
+	var gotErr error
+	calls := 0
+	c.nodes[0].Request(c.nodes[1].Addr(), "black-hole", nil, 100*time.Millisecond, func(body []byte, err error) {
+		calls++
+		gotErr = err
+	})
+	c.sim.Run()
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want 1", calls)
+	}
+}
+
+func TestRemovePeerUnlearns(t *testing.T) {
+	c := newCluster(t, 8, 9)
+	victimID := c.nodes[3].ID()
+	n := c.nodes[0]
+	before := n.NumKnown()
+	n.RemovePeer(victimID)
+	if n.NumKnown() >= before {
+		t.Fatalf("NumKnown did not drop: %d -> %d", before, n.NumKnown())
+	}
+}
+
+func TestMaxHopsDropsLoops(t *testing.T) {
+	// A node with a single peer that is not the key root and points back:
+	// craft an artificial 2-cycle by seeding state manually.
+	sim := netsim.New(1)
+	nw := netsim.NewNetwork(sim, netsim.Config{})
+	mem := transport.NewMemNetwork(nw)
+	clk := clock.Sim{S: sim}
+	a := NewNode(HashID("a"), mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+	b := NewNode(HashID("b"), mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+	a.Bootstrap()
+	b.Bootstrap()
+	a.AddPeer(b.Info())
+	b.AddPeer(a.Info())
+	a.MaxHops = 4
+	b.MaxHops = 4
+	// Route a key that terminates at one of them; even in this ad-hoc
+	// overlay the message must not circulate forever.
+	a.Route(HashID("some-key"), "missing-app", nil)
+	sim.Run() // would hang (or grow unbounded) on an infinite loop
+}

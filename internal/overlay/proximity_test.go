@@ -1,0 +1,131 @@
+package overlay
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// proximityCluster builds a two-site topology (near nodes at 2ms, far
+// nodes at 100ms from node 0) and joins everyone with proximity-aware
+// routing enabled or disabled.
+func proximityCluster(t *testing.T, n int, aware bool, seed int64) ([]*Node, *netsim.Simulator) {
+	t.Helper()
+	sim := netsim.New(seed)
+	lat := func(a, b netsim.NodeID) time.Duration {
+		if a == b {
+			return 0
+		}
+		// Even nodes form one site, odd nodes the other.
+		if (int(a)%2 == 0) == (int(b)%2 == 0) {
+			return 2 * time.Millisecond
+		}
+		return 100 * time.Millisecond
+	}
+	nw := netsim.NewNetwork(sim, netsim.Config{Latency: lat})
+	mem := transport.NewMemNetwork(nw)
+	clk := clock.Sim{S: sim}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := HashID(fmt.Sprintf("prox-%d-%d", seed, i))
+		nodes[i] = NewNode(id, mem.Endpoint(nw.AddNode(1e8, 1e8)), clk)
+		nodes[i].ProximityAware = aware
+	}
+	nodes[0].Bootstrap()
+	for i := 1; i < n; i++ {
+		nodes[i].Join(nodes[0].Addr(), nil)
+		sim.Run()
+	}
+	for _, nd := range nodes {
+		nd.Stabilize()
+	}
+	sim.Run()
+	return nodes, sim
+}
+
+// meanTableRTT averages the true latency of every routing-table entry as
+// seen from its owner.
+func meanTableRTT(nodes []*Node) float64 {
+	idx := make(map[ID]int, len(nodes))
+	for i, nd := range nodes {
+		idx[nd.ID()] = i
+	}
+	var total float64
+	var count int
+	for i, nd := range nodes {
+		for _, e := range nd.rt.all() {
+			j := idx[e.ID]
+			if (i%2 == 0) == (j%2 == 0) {
+				total += 2
+			} else {
+				total += 100
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func TestProximitySelectionPrefersNearPeers(t *testing.T) {
+	blind, _ := proximityCluster(t, 24, false, 3)
+	aware, _ := proximityCluster(t, 24, true, 3)
+	b, a := meanTableRTT(blind), meanTableRTT(aware)
+	if a >= b {
+		t.Fatalf("proximity-aware mean table latency %.1fms not below blind %.1fms", a, b)
+	}
+}
+
+func TestProximityRoutingStillConverges(t *testing.T) {
+	nodes, sim := proximityCluster(t, 20, true, 7)
+	root := func(key ID) *Node {
+		best := nodes[0]
+		for _, nd := range nodes[1:] {
+			if Closer(key, nd.ID(), best.ID()) {
+				best = nd
+			}
+		}
+		return best
+	}
+	for trial := 0; trial < 30; trial++ {
+		key := HashID(fmt.Sprintf("prox-key-%d", trial))
+		var deliveredAt *Node
+		for _, nd := range nodes {
+			nd := nd
+			nd.Register("p", func(ID, NodeInfo, []byte) { deliveredAt = nd })
+		}
+		nodes[trial%len(nodes)].Route(key, "p", nil)
+		sim.Run()
+		if deliveredAt != root(key) {
+			t.Fatalf("proximity routing misdelivered key %v", key)
+		}
+	}
+}
+
+func TestProbeRTTCachesAndMeasures(t *testing.T) {
+	nodes, sim := proximityCluster(t, 6, true, 11)
+	// After joining with proximity on, contested slots have measurements.
+	measured := 0
+	for _, nd := range nodes {
+		for _, other := range nodes {
+			if rtt, ok := nd.RTTOf(other.ID()); ok {
+				measured++
+				if rtt <= 0 {
+					t.Fatalf("non-positive RTT %v", rtt)
+				}
+			}
+		}
+	}
+	_ = sim
+	// Probing only happens for contested slots; with 6 nodes there may
+	// be few, but RTTOf must never fabricate entries.
+	if _, ok := nodes[0].RTTOf(HashID("stranger")); ok {
+		t.Fatal("RTTOf returned a measurement for an unknown peer")
+	}
+}

@@ -1,0 +1,211 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rasc.dev/rasc/internal/transport"
+)
+
+func info(id ID) NodeInfo {
+	return NodeInfo{ID: id, Addr: transport.Addr("sim://" + id.String()[:6])}
+}
+
+func TestRoutingTableAddLookup(t *testing.T) {
+	owner, _ := ParseID("a0000000000000000000000000000000")
+	rt := routingTable{owner: owner}
+	peer, _ := ParseID("a1000000000000000000000000000000") // cpl=1, digit 1 of peer = 1
+	if !rt.add(info(peer)) {
+		t.Fatal("add returned false for fresh entry")
+	}
+	if rt.add(info(peer)) {
+		t.Fatal("duplicate add reported change")
+	}
+	got := rt.lookup(1, 1)
+	if got == nil || got.ID != peer {
+		t.Fatalf("lookup = %v", got)
+	}
+	if rt.lookup(0, 0xb) != nil {
+		t.Fatal("unexpected entry")
+	}
+	if rt.size() != 1 {
+		t.Fatalf("size = %d", rt.size())
+	}
+}
+
+func TestRoutingTableIgnoresOwner(t *testing.T) {
+	owner := HashID("me")
+	rt := routingTable{owner: owner}
+	if rt.add(info(owner)) {
+		t.Fatal("added owner to its own table")
+	}
+}
+
+func TestRoutingTableFirstWriterWins(t *testing.T) {
+	owner, _ := ParseID("00000000000000000000000000000000")
+	rt := routingTable{owner: owner}
+	a, _ := ParseID("50000000000000000000000000000000")
+	b, _ := ParseID("51000000000000000000000000000000") // same row 0, digit 5
+	rt.add(info(a))
+	if rt.add(info(b)) {
+		t.Fatal("second writer displaced first")
+	}
+	if rt.lookup(0, 5).ID != a {
+		t.Fatal("entry overwritten")
+	}
+}
+
+func TestRoutingTableRemove(t *testing.T) {
+	owner, _ := ParseID("00000000000000000000000000000000")
+	rt := routingTable{owner: owner}
+	a, _ := ParseID("70000000000000000000000000000000")
+	rt.add(info(a))
+	if !rt.remove(a) {
+		t.Fatal("remove existing failed")
+	}
+	if rt.remove(a) {
+		t.Fatal("remove reported success twice")
+	}
+	if rt.remove(owner) {
+		t.Fatal("removing owner should be a no-op")
+	}
+}
+
+func TestRoutingTableRow(t *testing.T) {
+	owner, _ := ParseID("00000000000000000000000000000000")
+	rt := routingTable{owner: owner}
+	for d := 1; d < 8; d++ {
+		id, _ := ParseID(fmt.Sprintf("%x0000000000000000000000000000000", d))
+		rt.add(info(id))
+	}
+	if got := len(rt.row(0)); got != 7 {
+		t.Fatalf("row 0 has %d entries, want 7", got)
+	}
+	if got := len(rt.row(5)); got != 0 {
+		t.Fatalf("row 5 has %d entries, want 0", got)
+	}
+	if got := len(rt.all()); got != 7 {
+		t.Fatalf("all() has %d entries, want 7", got)
+	}
+}
+
+func TestLeafSetOrderingAndTrim(t *testing.T) {
+	owner, _ := ParseID("80000000000000000000000000000000")
+	ls := newLeafSet(owner, 4) // 2 per side
+	mk := func(hexID string) NodeInfo {
+		id, err := ParseID(hexID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info(id)
+	}
+	ls.add(mk("80000000000000000000000000000003")) // cw dist 3
+	ls.add(mk("80000000000000000000000000000001")) // cw dist 1
+	ls.add(mk("80000000000000000000000000000002")) // cw dist 2, evicts 3
+	ls.add(mk("7fffffffffffffffffffffffffffffff")) // ccw dist 1
+	ls.add(mk("7ffffffffffffffffffffffffffffffe")) // ccw dist 2
+	if len(ls.cw) != 2 {
+		t.Fatalf("cw size = %d, want 2", len(ls.cw))
+	}
+	if ls.cw[0].ID.String()[31] != '1' || ls.cw[1].ID.String()[31] != '2' {
+		t.Fatalf("cw order wrong: %v", ls.cw)
+	}
+	// A node farther than both full sides must not displace anything.
+	if ls.add(mk("80000000000000000000000000000004")) {
+		t.Fatal("far node insertion reported change")
+	}
+}
+
+func TestLeafSetCovers(t *testing.T) {
+	owner, _ := ParseID("80000000000000000000000000000000")
+	ls := newLeafSet(owner, 2) // one node per side: no wraparound overlap
+	if !ls.covers(HashID("anything")) {
+		t.Fatal("empty leaf set must cover everything")
+	}
+	lo, _ := ParseID("7f000000000000000000000000000000")
+	hi, _ := ParseID("81000000000000000000000000000000")
+	ls.add(info(lo))
+	ls.add(info(hi))
+	in, _ := ParseID("80500000000000000000000000000000")
+	out, _ := ParseID("ff000000000000000000000000000000")
+	if !ls.covers(in) {
+		t.Fatal("key inside segment not covered")
+	}
+	if ls.covers(out) {
+		t.Fatal("key outside segment covered")
+	}
+}
+
+func TestLeafSetClosest(t *testing.T) {
+	owner, _ := ParseID("80000000000000000000000000000000")
+	ls := newLeafSet(owner, 8)
+	near, _ := ParseID("80000000000000000000000000000010")
+	far, _ := ParseID("90000000000000000000000000000000")
+	ls.add(info(near))
+	ls.add(info(far))
+	key, _ := ParseID("80000000000000000000000000000011")
+	best, ok := ls.closest(key)
+	if !ok || best.ID != near {
+		t.Fatalf("closest = %v ok=%v", best, ok)
+	}
+	// Key on top of owner: owner itself is closest.
+	if _, ok := ls.closest(owner); ok {
+		t.Fatal("owner should win for its own ID")
+	}
+}
+
+func TestLeafSetRemove(t *testing.T) {
+	owner := HashID("owner")
+	ls := newLeafSet(owner, 8)
+	a := HashID("a")
+	ls.add(info(a))
+	if !ls.remove(a) {
+		t.Fatal("remove failed")
+	}
+	if ls.remove(a) {
+		t.Fatal("double remove reported success")
+	}
+	if ls.size() != 0 {
+		t.Fatalf("size = %d after remove", ls.size())
+	}
+}
+
+// Property: with many random members, the leaf set keeps exactly the `half`
+// closest nodes on each side.
+func TestLeafSetKeepsClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	owner := RandomID(rng)
+	const half = 8
+	ls := newLeafSet(owner, 2*half)
+	var members []ID
+	for i := 0; i < 200; i++ {
+		id := RandomID(rng)
+		members = append(members, id)
+		ls.add(info(id))
+	}
+	// Compute expected cw side by brute force.
+	type cand struct {
+		id   ID
+		dist ID
+	}
+	var cands []cand
+	for _, m := range members {
+		cands = append(cands, cand{m, CWDist(owner, m)})
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].dist.Cmp(cands[i].dist) < 0 {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if len(ls.cw) != half {
+		t.Fatalf("cw side has %d, want %d", len(ls.cw), half)
+	}
+	for i := 0; i < half; i++ {
+		if ls.cw[i].ID != cands[i].id {
+			t.Fatalf("cw[%d] = %v, want %v", i, ls.cw[i].ID, cands[i].id)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEDFDeadlineOrderInvariant: EDF returns runnable units in
+// non-decreasing deadline order when no time passes between calls.
+func TestEDFDeadlineOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		q := NewEDF(0)
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			q.Push(&Unit{
+				ComponentKey: "c",
+				Deadline:     time.Duration(rng.Intn(1000)) * time.Millisecond,
+				ExecTime:     time.Duration(rng.Intn(50)) * time.Millisecond,
+			})
+		}
+		now := time.Duration(rng.Intn(300)) * time.Millisecond
+		var last time.Duration = -1
+		for {
+			u, _ := q.Next(now)
+			if u == nil {
+				break
+			}
+			if u.Deadline < last {
+				t.Fatal("EDF deadline order violated")
+			}
+			last = u.Deadline
+		}
+	}
+}
+
+// TestFIFOPreservesArrivalOrder: FIFO returns runnable units strictly in
+// push order.
+func TestFIFOPreservesArrivalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		q := NewFIFO(0)
+		n := rng.Intn(30) + 1
+		for i := 0; i < n; i++ {
+			q.Push(&Unit{
+				ComponentKey: "c",
+				Deadline:     time.Hour, // nothing drops
+				Enqueued:     time.Duration(i),
+			})
+		}
+		var last time.Duration = -1
+		for {
+			u, _ := q.Next(0)
+			if u == nil {
+				break
+			}
+			if u.Enqueued <= last {
+				t.Fatal("FIFO order violated")
+			}
+			last = u.Enqueued
+		}
+	}
+}
+
+// TestPoliciesNeverReturnLateUnits: no policy may hand out a unit whose
+// laxity is already negative.
+func TestPoliciesNeverReturnLateUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, mk := range []func(int) Policy{NewLLF, NewEDF, NewFIFO} {
+		for trial := 0; trial < 30; trial++ {
+			q := mk(0)
+			for i := 0; i < 30; i++ {
+				q.Push(&Unit{
+					ComponentKey: "c",
+					Deadline:     time.Duration(rng.Intn(200)) * time.Millisecond,
+					ExecTime:     time.Duration(rng.Intn(40)) * time.Millisecond,
+				})
+			}
+			now := time.Duration(rng.Intn(250)) * time.Millisecond
+			for {
+				u, dropped := q.Next(now)
+				for _, d := range dropped {
+					if d.Laxity(now) >= 0 {
+						t.Fatalf("%s dropped a runnable unit", q.Name())
+					}
+				}
+				if u == nil {
+					break
+				}
+				if u.Laxity(now) < 0 {
+					t.Fatalf("%s returned a late unit", q.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestConservation: every pushed unit is either returned or dropped,
+// exactly once.
+func TestConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, mk := range []func(int) Policy{NewLLF, NewEDF, NewFIFO} {
+		q := mk(0)
+		const n = 200
+		for i := 0; i < n; i++ {
+			q.Push(&Unit{
+				ComponentKey: "c",
+				Deadline:     time.Duration(rng.Intn(500)) * time.Millisecond,
+				ExecTime:     time.Duration(rng.Intn(50)) * time.Millisecond,
+			})
+		}
+		seen := 0
+		now := 200 * time.Millisecond
+		for {
+			u, dropped := q.Next(now)
+			seen += len(dropped)
+			if u == nil {
+				break
+			}
+			seen++
+		}
+		if seen != n {
+			t.Fatalf("%s: %d of %d units accounted for", q.Name(), seen, n)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package sched implements RASC's node-local scheduling algorithm (§3.4).
+//
+// Every data unit awaiting execution gets a deadline equal to the expected
+// arrival time of the next data unit for the same component (arrival +
+// period p_ci). At each scheduling decision the laxity of a unit is the
+// time it can still afford to wait:
+//
+//	L(du) = d_du − now − t_ci
+//
+// (the paper prints the negated expression but describes exactly this
+// semantics: positive laxity means the unit can still meet its deadline).
+// Units whose laxity has gone negative are dropped; among the rest, the one
+// with the smallest laxity runs first (least-laxity-first). FIFO and EDF
+// policies are provided for ablation experiments.
+package sched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Unit is a schedulable data unit.
+type Unit struct {
+	// ComponentKey identifies the component c_i the unit belongs to.
+	ComponentKey string
+	// Deadline is d_du: the expected arrival time of the component's
+	// next data unit.
+	Deadline time.Duration
+	// ExecTime is the estimated running time t_ci at enqueue time.
+	ExecTime time.Duration
+	// Enqueued is the unit's arrival time at this node.
+	Enqueued time.Duration
+	// Payload carries the caller's data through the queue.
+	Payload interface{}
+
+	index int // heap bookkeeping
+}
+
+// laxityKey is the time-independent part of the laxity: L = key − now, so
+// ordering by key orders by laxity at any single instant.
+func (u *Unit) laxityKey() time.Duration { return u.Deadline - u.ExecTime }
+
+// Laxity returns the unit's laxity at time now.
+func (u *Unit) Laxity(now time.Duration) time.Duration { return u.laxityKey() - now }
+
+// Policy is a node scheduling discipline.
+type Policy interface {
+	// Push enqueues a unit; it returns false (and does not enqueue) when
+	// the queue is full.
+	Push(u *Unit) bool
+	// Next picks the unit to execute at time now. It returns nil if the
+	// queue is empty or every unit was dropped. Units dropped for
+	// missing their deadlines are returned in dropped.
+	Next(now time.Duration) (run *Unit, dropped []*Unit)
+	// Len reports the number of queued units.
+	Len() int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// unitHeap orders units by an arbitrary key function.
+type unitHeap struct {
+	units []*Unit
+	less  func(a, b *Unit) bool
+}
+
+func (h *unitHeap) Len() int           { return len(h.units) }
+func (h *unitHeap) Less(i, j int) bool { return h.less(h.units[i], h.units[j]) }
+func (h *unitHeap) Swap(i, j int) {
+	h.units[i], h.units[j] = h.units[j], h.units[i]
+	h.units[i].index = i
+	h.units[j].index = j
+}
+func (h *unitHeap) Push(x interface{}) {
+	u := x.(*Unit)
+	u.index = len(h.units)
+	h.units = append(h.units, u)
+}
+func (h *unitHeap) Pop() interface{} {
+	old := h.units
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	h.units = old[:n-1]
+	return u
+}
+
+// llf is the paper's least-laxity-first policy.
+type llf struct {
+	heap     unitHeap
+	capacity int
+}
+
+// NewLLF creates a least-laxity-first queue holding at most capacity units
+// (capacity <= 0 means unbounded).
+func NewLLF(capacity int) Policy {
+	q := &llf{capacity: capacity}
+	q.heap.less = func(a, b *Unit) bool {
+		if a.laxityKey() != b.laxityKey() {
+			return a.laxityKey() < b.laxityKey()
+		}
+		return a.Enqueued < b.Enqueued
+	}
+	return q
+}
+
+func (q *llf) Name() string { return "llf" }
+func (q *llf) Len() int     { return q.heap.Len() }
+
+func (q *llf) Push(u *Unit) bool {
+	if q.capacity > 0 && q.heap.Len() >= q.capacity {
+		return false
+	}
+	heap.Push(&q.heap, u)
+	return true
+}
+
+func (q *llf) Next(now time.Duration) (*Unit, []*Unit) {
+	var dropped []*Unit
+	for q.heap.Len() > 0 {
+		u := q.heap.units[0]
+		if u.Laxity(now) < 0 {
+			heap.Pop(&q.heap)
+			dropped = append(dropped, u)
+			continue
+		}
+		heap.Pop(&q.heap)
+		return u, dropped
+	}
+	return nil, dropped
+}
+
+// edf orders by absolute deadline (earliest-deadline-first), an ablation
+// against LLF.
+type edf struct {
+	heap     unitHeap
+	capacity int
+}
+
+// NewEDF creates an earliest-deadline-first queue.
+func NewEDF(capacity int) Policy {
+	q := &edf{capacity: capacity}
+	q.heap.less = func(a, b *Unit) bool {
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return a.Enqueued < b.Enqueued
+	}
+	return q
+}
+
+func (q *edf) Name() string { return "edf" }
+func (q *edf) Len() int     { return q.heap.Len() }
+
+func (q *edf) Push(u *Unit) bool {
+	if q.capacity > 0 && q.heap.Len() >= q.capacity {
+		return false
+	}
+	heap.Push(&q.heap, u)
+	return true
+}
+
+func (q *edf) Next(now time.Duration) (*Unit, []*Unit) {
+	var dropped []*Unit
+	for q.heap.Len() > 0 {
+		u := q.heap.units[0]
+		if u.Laxity(now) < 0 {
+			heap.Pop(&q.heap)
+			dropped = append(dropped, u)
+			continue
+		}
+		heap.Pop(&q.heap)
+		return u, dropped
+	}
+	return nil, dropped
+}
+
+// fifo runs units in arrival order, still dropping units that can no
+// longer meet their deadlines (so the ablation isolates ordering, not
+// admission).
+type fifo struct {
+	units    []*Unit
+	capacity int
+}
+
+// NewFIFO creates a first-in-first-out queue.
+func NewFIFO(capacity int) Policy { return &fifo{capacity: capacity} }
+
+func (q *fifo) Name() string { return "fifo" }
+func (q *fifo) Len() int     { return len(q.units) }
+
+func (q *fifo) Push(u *Unit) bool {
+	if q.capacity > 0 && len(q.units) >= q.capacity {
+		return false
+	}
+	q.units = append(q.units, u)
+	return true
+}
+
+func (q *fifo) Next(now time.Duration) (*Unit, []*Unit) {
+	var dropped []*Unit
+	for len(q.units) > 0 {
+		u := q.units[0]
+		q.units = q.units[1:]
+		if u.Laxity(now) < 0 {
+			dropped = append(dropped, u)
+			continue
+		}
+		return u, dropped
+	}
+	return nil, dropped
+}
+
+// NewPolicy constructs a policy by name ("llf", "edf" or "fifo"); unknown
+// names fall back to LLF.
+func NewPolicy(name string, capacity int) Policy {
+	switch name {
+	case "edf":
+		return NewEDF(capacity)
+	case "fifo":
+		return NewFIFO(capacity)
+	default:
+		return NewLLF(capacity)
+	}
+}

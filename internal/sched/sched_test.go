@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func unit(key string, deadline, exec time.Duration) *Unit {
+	return &Unit{ComponentKey: key, Deadline: deadline, ExecTime: exec}
+}
+
+func TestLaxity(t *testing.T) {
+	u := unit("c", 100*time.Millisecond, 20*time.Millisecond)
+	if got := u.Laxity(30 * time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("Laxity = %v, want 50ms", got)
+	}
+	if got := u.Laxity(90 * time.Millisecond); got != -10*time.Millisecond {
+		t.Fatalf("Laxity = %v, want -10ms", got)
+	}
+}
+
+func TestLLFPicksSmallestLaxity(t *testing.T) {
+	q := NewLLF(0)
+	a := unit("a", 100*time.Millisecond, 10*time.Millisecond) // key 90
+	b := unit("b", 50*time.Millisecond, 5*time.Millisecond)   // key 45
+	c := unit("c", 200*time.Millisecond, 40*time.Millisecond) // key 160
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	got, dropped := q.Next(0)
+	if got != b || len(dropped) != 0 {
+		t.Fatalf("Next = %v dropped %v, want b", got, dropped)
+	}
+	got, _ = q.Next(0)
+	if got != a {
+		t.Fatalf("second Next = %v, want a", got)
+	}
+	got, _ = q.Next(0)
+	if got != c {
+		t.Fatalf("third Next = %v, want c", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestLLFDropsNegativeLaxity(t *testing.T) {
+	q := NewLLF(0)
+	late := unit("late", 10*time.Millisecond, 5*time.Millisecond) // key 5
+	ok := unit("ok", 100*time.Millisecond, 5*time.Millisecond)    // key 95
+	q.Push(late)
+	q.Push(ok)
+	got, dropped := q.Next(50 * time.Millisecond)
+	if got != ok {
+		t.Fatalf("Next = %v, want ok", got)
+	}
+	if len(dropped) != 1 || dropped[0] != late {
+		t.Fatalf("dropped = %v, want [late]", dropped)
+	}
+}
+
+func TestLLFAllLate(t *testing.T) {
+	q := NewLLF(0)
+	q.Push(unit("a", time.Millisecond, time.Millisecond))
+	q.Push(unit("b", 2*time.Millisecond, time.Millisecond))
+	got, dropped := q.Next(time.Second)
+	if got != nil {
+		t.Fatalf("Next = %v, want nil", got)
+	}
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d, want 2", len(dropped))
+	}
+	if q.Len() != 0 {
+		t.Fatal("late units still queued")
+	}
+}
+
+func TestCapacityOverflow(t *testing.T) {
+	for _, mk := range []func(int) Policy{NewLLF, NewEDF, NewFIFO} {
+		q := mk(2)
+		if !q.Push(unit("a", time.Second, 0)) || !q.Push(unit("b", time.Second, 0)) {
+			t.Fatal("push into non-full queue failed")
+		}
+		if q.Push(unit("c", time.Second, 0)) {
+			t.Fatalf("%s: push into full queue succeeded", q.Name())
+		}
+		if q.Len() != 2 {
+			t.Fatalf("%s: Len = %d", q.Name(), q.Len())
+		}
+	}
+}
+
+func TestEmptyNext(t *testing.T) {
+	for _, mk := range []func(int) Policy{NewLLF, NewEDF, NewFIFO} {
+		q := mk(0)
+		got, dropped := q.Next(0)
+		if got != nil || dropped != nil {
+			t.Fatalf("%s: empty Next returned %v, %v", q.Name(), got, dropped)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO(0)
+	a := unit("a", time.Hour, 0)
+	b := unit("b", time.Minute, 0) // earlier deadline, but arrived second
+	q.Push(a)
+	q.Push(b)
+	got, _ := q.Next(0)
+	if got != a {
+		t.Fatal("FIFO must run in arrival order")
+	}
+}
+
+func TestFIFODropsLate(t *testing.T) {
+	q := NewFIFO(0)
+	q.Push(unit("late", time.Millisecond, 0))
+	fresh := unit("fresh", time.Hour, 0)
+	q.Push(fresh)
+	got, dropped := q.Next(time.Second)
+	if got != fresh || len(dropped) != 1 {
+		t.Fatalf("got %v dropped %v", got, dropped)
+	}
+}
+
+func TestEDFOrder(t *testing.T) {
+	q := NewEDF(0)
+	a := unit("a", 100*time.Millisecond, 90*time.Millisecond) // laxity key 10
+	b := unit("b", 50*time.Millisecond, 1*time.Millisecond)   // laxity key 49
+	q.Push(a)
+	q.Push(b)
+	// EDF picks b (deadline 50 < 100) even though LLF would pick a.
+	got, _ := q.Next(0)
+	if got != b {
+		t.Fatal("EDF must order by absolute deadline")
+	}
+}
+
+func TestTieBreakByArrival(t *testing.T) {
+	q := NewLLF(0)
+	a := unit("a", time.Second, 0)
+	a.Enqueued = 1
+	b := unit("b", time.Second, 0)
+	b.Enqueued = 2
+	q.Push(b)
+	q.Push(a)
+	got, _ := q.Next(0)
+	if got != a {
+		t.Fatal("equal laxity must break ties by arrival time")
+	}
+}
+
+func TestNewPolicyByName(t *testing.T) {
+	if NewPolicy("fifo", 0).Name() != "fifo" {
+		t.Fatal("fifo")
+	}
+	if NewPolicy("edf", 0).Name() != "edf" {
+		t.Fatal("edf")
+	}
+	if NewPolicy("llf", 0).Name() != "llf" {
+		t.Fatal("llf")
+	}
+	if NewPolicy("unknown", 0).Name() != "llf" {
+		t.Fatal("unknown must default to llf")
+	}
+}
+
+// Property: LLF always returns units in non-decreasing laxity order when no
+// time passes between calls, and never returns a unit with negative laxity.
+func TestLLFOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		q := NewLLF(0)
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			q.Push(unit("c", time.Duration(rng.Intn(1000))*time.Millisecond,
+				time.Duration(rng.Intn(100))*time.Millisecond))
+		}
+		now := time.Duration(rng.Intn(500)) * time.Millisecond
+		var last time.Duration = -1 << 62
+		for {
+			u, _ := q.Next(now)
+			if u == nil {
+				break
+			}
+			lax := u.Laxity(now)
+			if lax < 0 {
+				t.Fatal("returned unit with negative laxity")
+			}
+			if lax < last {
+				t.Fatal("laxity order violated")
+			}
+			last = lax
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package services
+
+import "testing"
+
+func TestStandardCatalog(t *testing.T) {
+	c := Standard()
+	if len(c) != 10 {
+		t.Fatalf("standard catalog has %d services, want 10 (§4.1)", len(c))
+	}
+	for name, def := range c {
+		if def.Name != name {
+			t.Errorf("%s: Name field mismatch %q", name, def.Name)
+		}
+		if def.ProcPerUnit <= 0 {
+			t.Errorf("%s: non-positive processing cost", name)
+		}
+		if def.RateRatio != 1 || def.BytesRatio != 1 {
+			t.Errorf("%s: standard services must have unit ratios", name)
+		}
+	}
+}
+
+func TestExtendedCatalog(t *testing.T) {
+	c := Extended()
+	if len(c) != 13 {
+		t.Fatalf("extended catalog has %d services, want 13", len(c))
+	}
+	if c["downsample"].RateRatio != 0.5 {
+		t.Fatal("downsample must halve the rate")
+	}
+	if c["upsample"].RateRatio != 2 {
+		t.Fatal("upsample must double the rate")
+	}
+	if c["shrink"].BytesRatio != 0.5 {
+		t.Fatal("shrink must halve unit size")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	c := Standard()
+	names := c.Names()
+	if len(names) != len(c) {
+		t.Fatalf("Names returned %d entries for %d services", len(names), len(c))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, ok := c[n]; !ok {
+			t.Fatalf("Names includes unknown %q", n)
+		}
+	}
+}
+
+func TestMustGet(t *testing.T) {
+	c := Standard()
+	if c.MustGet("filter").Name != "filter" {
+		t.Fatal("MustGet returned wrong def")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet of unknown service must panic")
+		}
+	}()
+	c.MustGet("nope")
+}

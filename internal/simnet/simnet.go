@@ -1,0 +1,118 @@
+// Package simnet assembles a complete simulated overlay deployment — a
+// discrete-event network, transport endpoints and joined Pastry nodes — the
+// common substrate for tests, examples and the experiment harness.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of nodes. Required.
+	N int
+	// Seed drives every random choice in the deployment.
+	Seed int64
+	// Topology, when set, supplies access-link capacities and latencies;
+	// otherwise a PlanetLab-like topology is generated from the seed.
+	Topology *netsim.Topology
+	// Jitter is the per-message random extra latency (default 5ms).
+	Jitter time.Duration
+	// LossRate is the transport-level message loss probability.
+	LossRate float64
+	// MaxLinkBacklog bounds per-link FIFO backlog (0 = unbounded); see
+	// netsim.Config.
+	MaxLinkBacklog time.Duration
+	// CongestionJitter adds backlog-proportional jitter; see
+	// netsim.Config.
+	CongestionJitter float64
+	// ProximityBlind disables Pastry's proximity neighbor selection
+	// (enabled by default: contested routing-table slots go to the
+	// lower-RTT peer).
+	ProximityBlind bool
+}
+
+// Cluster is a fully joined simulated overlay.
+type Cluster struct {
+	Sim       *netsim.Simulator
+	Net       *netsim.Network
+	Mem       *transport.MemNetwork
+	Endpoints []transport.Endpoint
+	Clock     clock.Sim
+	Topology  *netsim.Topology
+	Nodes     []*overlay.Node
+	NetIDs    []netsim.NodeID
+}
+
+// New builds N nodes, joins them all through node 0 and runs the simulator
+// until the overlay has quiesced.
+func New(opts Options) *Cluster {
+	if opts.N <= 0 {
+		panic("simnet: Options.N must be positive")
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 5 * time.Millisecond
+	}
+	topo := opts.Topology
+	if topo == nil {
+		topo = netsim.PlanetLabTopology(netsim.TopologyConfig{Nodes: opts.N}, opts.Seed)
+	}
+	sim := netsim.New(opts.Seed)
+	nw := netsim.NewNetwork(sim, netsim.Config{
+		Latency:          topo.LatencyFunc(),
+		Jitter:           opts.Jitter,
+		LossRate:         opts.LossRate,
+		MaxLinkBacklog:   opts.MaxLinkBacklog,
+		CongestionJitter: opts.CongestionJitter,
+	})
+	mem := transport.NewMemNetwork(nw)
+	clk := clock.Sim{S: sim}
+	c := &Cluster{Sim: sim, Net: nw, Mem: mem, Clock: clk, Topology: topo}
+	for i := 0; i < opts.N; i++ {
+		netID := nw.AddNode(topo.UpBps[i], topo.DownBps[i])
+		ep := mem.Endpoint(netID)
+		c.Endpoints = append(c.Endpoints, ep)
+		id := overlay.HashID(fmt.Sprintf("rasc-node-%d-%d", opts.Seed, i))
+		c.NetIDs = append(c.NetIDs, netID)
+		node := overlay.NewNode(id, ep, clk)
+		node.ProximityAware = !opts.ProximityBlind
+		c.Nodes = append(c.Nodes, node)
+	}
+	c.Nodes[0].Bootstrap()
+	for i := 1; i < opts.N; i++ {
+		c.Nodes[i].Join(c.Nodes[0].Addr(), nil)
+		sim.Run()
+	}
+	for _, n := range c.Nodes {
+		n.Stabilize()
+	}
+	sim.Run()
+	return c
+}
+
+// Root returns the node whose ID is closest to key.
+func (c *Cluster) Root(key overlay.ID) *overlay.Node {
+	best := c.Nodes[0]
+	for _, n := range c.Nodes[1:] {
+		if overlay.Closer(key, n.ID(), best.ID()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Index returns the position of the node with the given overlay ID, or -1.
+func (c *Cluster) Index(id overlay.ID) int {
+	for i, n := range c.Nodes {
+		if n.ID() == id {
+			return i
+		}
+	}
+	return -1
+}

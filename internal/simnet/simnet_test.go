@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/overlay"
+)
+
+func TestNewClusterJoinsEveryone(t *testing.T) {
+	c := New(Options{N: 10, Seed: 1})
+	for i, n := range c.Nodes {
+		if !n.Joined() {
+			t.Fatalf("node %d not joined", i)
+		}
+	}
+	if c.Net.NumNodes() != 10 {
+		t.Fatalf("network has %d nodes", c.Net.NumNodes())
+	}
+}
+
+func TestClusterRootAgreesWithRouting(t *testing.T) {
+	c := New(Options{N: 12, Seed: 2})
+	for trial := 0; trial < 20; trial++ {
+		key := overlay.HashID(fmt.Sprintf("key-%d", trial))
+		want := c.Root(key)
+		var got *overlay.Node
+		for _, n := range c.Nodes {
+			n := n
+			n.Register("t", func(k overlay.ID, src overlay.NodeInfo, body []byte) {
+				got = n
+			})
+		}
+		c.Nodes[trial%12].Route(key, "t", nil)
+		c.Sim.Run()
+		if got != want {
+			t.Fatalf("key %v delivered at %v, want %v", key, got.ID(), want.ID())
+		}
+	}
+}
+
+func TestClusterIndex(t *testing.T) {
+	c := New(Options{N: 5, Seed: 3})
+	for i, n := range c.Nodes {
+		if c.Index(n.ID()) != i {
+			t.Fatalf("Index(%v) != %d", n.ID(), i)
+		}
+	}
+	if c.Index(overlay.HashID("stranger")) != -1 {
+		t.Fatal("unknown ID must index to -1")
+	}
+}
+
+func TestClusterCustomTopology(t *testing.T) {
+	topo := netsim.PlanetLabTopology(netsim.TopologyConfig{Nodes: 4, MinBps: 5e5, MaxBps: 5.1e5}, 9)
+	c := New(Options{N: 4, Seed: 9, Topology: topo})
+	for i := 0; i < 4; i++ {
+		if c.Net.UpCapacity(c.NetIDs[i]) != topo.UpBps[i] {
+			t.Fatal("custom topology capacities not applied")
+		}
+	}
+}
+
+func TestClusterPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for N=0")
+		}
+	}()
+	New(Options{N: 0})
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	mk := func() time.Duration {
+		c := New(Options{N: 8, Seed: 4})
+		return c.Sim.Now()
+	}
+	if mk() != mk() {
+		t.Fatal("cluster construction not deterministic")
+	}
+}

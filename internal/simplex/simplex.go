@@ -1,0 +1,317 @@
+// Package simplex is a dense two-phase tableau simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x
+//	subject to  a_i·x {≤,=,≥} b_i,  x ≥ 0.
+//
+// RASC's composition problem reduces to minimum-cost flow when every
+// component's rate ratio R_ci is 1; the paper notes that "in the case where
+// the rate ratio is not equal to 1, a linear programming method can be used
+// to solve equations 1-4". This package provides that method for the
+// generalized composer.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation compares a constraint row to its right-hand side.
+type Relation int
+
+// Supported constraint relations.
+const (
+	LE Relation = iota // ≤
+	GE                 // ≥
+	EQ                 // =
+)
+
+// ErrInfeasible is returned when no x satisfies the constraints.
+var ErrInfeasible = errors.New("simplex: infeasible")
+
+// ErrUnbounded is returned when the objective can decrease without bound.
+var ErrUnbounded = errors.New("simplex: unbounded")
+
+const eps = 1e-9
+
+type constraint struct {
+	coeffs []float64
+	rel    Relation
+	rhs    float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	c        []float64
+	rows     []constraint
+	maximize bool
+}
+
+// NewMinimize starts a minimization problem over len(c) non-negative
+// variables with objective coefficients c.
+func NewMinimize(c []float64) *Problem {
+	cc := make([]float64, len(c))
+	copy(cc, c)
+	return &Problem{c: cc}
+}
+
+// NewMaximize starts a maximization problem (solved by negating the
+// objective).
+func NewMaximize(c []float64) *Problem {
+	cc := make([]float64, len(c))
+	for i, v := range c {
+		cc[i] = -v
+	}
+	return &Problem{c: cc, maximize: true}
+}
+
+// AddConstraint appends the constraint coeffs·x rel rhs. The coefficient
+// slice must have one entry per variable.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	if len(coeffs) != len(p.c) {
+		panic(fmt.Sprintf("simplex: constraint has %d coefficients for %d variables", len(coeffs), len(p.c)))
+	}
+	cc := make([]float64, len(coeffs))
+	copy(cc, coeffs)
+	p.rows = append(p.rows, constraint{coeffs: cc, rel: rel, rhs: rhs})
+}
+
+// Solution is an optimal assignment.
+type Solution struct {
+	// X holds the variable values.
+	X []float64
+	// Objective is c·X for the problem as originally stated (maximization
+	// problems report the maximized value).
+	Objective float64
+}
+
+// tableau implements the dense simplex with Bland's rule.
+type tableau struct {
+	m, n  int // constraints, total columns (variables) excluding RHS
+	a     [][]float64
+	b     []float64
+	cost  []float64 // current objective row (reduced costs maintained by pivoting)
+	basis []int     // basis[i] = column basic in row i
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // fight rounding
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+		t.a[i][col] = 0
+	}
+	f := t.cost[col]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= f * t.a[row][j]
+		}
+		t.cost[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex pivots until optimal; it returns ErrUnbounded when a
+// column can improve forever. Bland's rule guarantees termination.
+func (t *tableau) iterate(allowed func(col int) bool) error {
+	for {
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if t.cost[j] < -eps && (allowed == nil || allowed(j)) {
+				col = j
+				break // Bland: smallest improving index
+			}
+		}
+		if col == -1 {
+			return nil
+		}
+		row := -1
+		var best float64
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				ratio := t.b[i] / t.a[i][col]
+				if row == -1 || ratio < best-eps ||
+					(math.Abs(ratio-best) <= eps && t.basis[i] < t.basis[row]) {
+					row, best = i, ratio
+				}
+			}
+		}
+		if row == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// Solve runs the two-phase simplex and returns an optimal solution.
+func (p *Problem) Solve() (Solution, error) {
+	nVars := len(p.c)
+	m := len(p.rows)
+
+	// Normalize rows to non-negative right-hand sides, then count the
+	// slack/surplus and artificial columns each relation needs.
+	type normRow struct {
+		coeffs []float64
+		rel    Relation
+		rhs    float64
+	}
+	norm := make([]normRow, m)
+	nSlack, nArt := 0, 0
+	for i, r := range p.rows {
+		nr := normRow{coeffs: make([]float64, nVars), rel: r.rel, rhs: r.rhs}
+		copy(nr.coeffs, r.coeffs)
+		if nr.rhs < 0 {
+			for j := range nr.coeffs {
+				nr.coeffs[j] = -nr.coeffs[j]
+			}
+			nr.rhs = -nr.rhs
+			switch nr.rel {
+			case LE:
+				nr.rel = GE
+			case GE:
+				nr.rel = LE
+			}
+		}
+		switch nr.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+		norm[i] = nr
+	}
+	n := nVars + nSlack + nArt
+	t := &tableau{
+		m: m, n: n,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		cost:  make([]float64, n),
+		basis: make([]int, m),
+	}
+	artCols := make([]bool, n)
+	slackIdx := nVars
+	artIdx := nVars + nSlack
+	for i, r := range norm {
+		row := make([]float64, n)
+		copy(row, r.coeffs)
+		t.b[i] = r.rhs
+		switch r.rel {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			artCols[artIdx] = true
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			artCols[artIdx] = true
+			t.basis[i] = artIdx
+			artIdx++
+		}
+		t.a[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if artIdx > nVars+nSlack {
+		for j := nVars + nSlack; j < artIdx; j++ {
+			t.cost[j] = 1
+		}
+		// Make reduced costs consistent with the starting basis.
+		for i := 0; i < t.m; i++ {
+			if artCols[t.basis[i]] {
+				for j := 0; j < t.n; j++ {
+					t.cost[j] -= t.a[i][j]
+				}
+			}
+		}
+		if err := t.iterate(nil); err != nil {
+			return Solution{}, err
+		}
+		// Objective value of phase 1 = -cost of constant term; compute
+		// via basic artificials.
+		sumArt := 0.0
+		for i := 0; i < t.m; i++ {
+			if artCols[t.basis[i]] {
+				sumArt += t.b[i]
+			}
+		}
+		if sumArt > 1e-6 {
+			return Solution{}, ErrInfeasible
+		}
+		// Drive remaining (degenerate) artificials out of the basis.
+		for i := 0; i < t.m; i++ {
+			if !artCols[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < nVars+nSlack; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted // a redundant row may keep its artificial at 0
+		}
+	}
+
+	// Phase 2: original objective, artificial columns frozen.
+	for j := 0; j < t.n; j++ {
+		t.cost[j] = 0
+	}
+	for j := 0; j < nVars; j++ {
+		t.cost[j] = p.c[j]
+	}
+	for i := 0; i < t.m; i++ {
+		f := t.cost[t.basis[i]]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= f * t.a[i][j]
+		}
+		t.cost[t.basis[i]] = 0
+	}
+	if err := t.iterate(func(col int) bool { return !artCols[col] }); err != nil {
+		return Solution{}, err
+	}
+
+	x := make([]float64, nVars)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < nVars {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < nVars; j++ {
+		obj += p.c[j] * x[j]
+	}
+	if p.maximize {
+		obj = -obj
+	}
+	return Solution{X: x, Objective: obj}, nil
+}

@@ -1,0 +1,118 @@
+// Package spec defines the application model of §2.2: service definitions
+// with requirement vectors, and service requests — a request graph of
+// substreams plus the rate requirement vector r_req.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ServiceDef describes a stream-processing service (the function a
+// component instantiates).
+type ServiceDef struct {
+	// Name is the service's global identifier (hashed for discovery).
+	Name string `json:"name"`
+	// ProcPerUnit is the CPU time to process one data unit on a
+	// reference node (t_ci at speed factor 1).
+	ProcPerUnit time.Duration `json:"procPerUnit"`
+	// RateRatio is R_ci = r_out/r_in. The min-cost composer requires 1;
+	// the LP composer accepts any positive value.
+	RateRatio float64 `json:"rateRatio"`
+	// BytesRatio scales the output data unit size relative to the input
+	// (e.g. 0.5 for a transcoder halving the bit rate).
+	BytesRatio float64 `json:"bytesRatio"`
+}
+
+// Substream is one sequential chain of services in a request graph,
+// terminating at the destination.
+type Substream struct {
+	// Services lists the chain in processing order.
+	Services []string `json:"services"`
+	// Rate is the required delivery rate r_req_l in data units per
+	// second.
+	Rate int `json:"rate"`
+	// Burstiness makes the source variable-bit-rate: unit sizes vary
+	// uniformly within ±Burstiness of the request's UnitBytes while the
+	// unit rate stays constant — a constant-frame-rate, variable-frame-
+	// size video model. 0 (the default) is constant bit rate; values
+	// must lie in [0, 1).
+	Burstiness float64 `json:"burstiness,omitempty"`
+}
+
+// Request is a user's stream-processing request req = <G_req, r_req>.
+type Request struct {
+	// ID names the request (unique within an experiment).
+	ID string `json:"id"`
+	// Substreams are the request graph's parallel chains.
+	Substreams []Substream `json:"substreams"`
+	// UnitBytes is the application's data unit size in bytes (the mean
+	// size for bursty substreams).
+	UnitBytes int `json:"unitBytes"`
+	// PlayoutDelay, when positive, enables the media playout model at
+	// the destination: playback of each substream starts PlayoutDelay
+	// after its first unit arrives and consumes one unit per period;
+	// a unit arriving after its playback deadline causes a rebuffering
+	// stall (counted by the sink), after which playback restarts with
+	// the same delay.
+	PlayoutDelay time.Duration `json:"playoutDelay,omitempty"`
+}
+
+// Validate checks structural sanity.
+func (r Request) Validate() error {
+	if r.ID == "" {
+		return errors.New("spec: request needs an ID")
+	}
+	if r.UnitBytes <= 0 {
+		return fmt.Errorf("spec: request %s: unit size %d must be positive", r.ID, r.UnitBytes)
+	}
+	if len(r.Substreams) == 0 {
+		return fmt.Errorf("spec: request %s has no substreams", r.ID)
+	}
+	for i, ss := range r.Substreams {
+		if len(ss.Services) == 0 {
+			return fmt.Errorf("spec: request %s substream %d has no services", r.ID, i)
+		}
+		if ss.Rate <= 0 {
+			return fmt.Errorf("spec: request %s substream %d rate %d must be positive", r.ID, i, ss.Rate)
+		}
+		if ss.Burstiness < 0 || ss.Burstiness >= 1 {
+			return fmt.Errorf("spec: request %s substream %d burstiness %g outside [0,1)", r.ID, i, ss.Burstiness)
+		}
+	}
+	if r.PlayoutDelay < 0 {
+		return fmt.Errorf("spec: request %s negative playout delay", r.ID)
+	}
+	return nil
+}
+
+// Services returns the set of distinct services the request invokes.
+func (r Request) Services() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ss := range r.Substreams {
+		for _, s := range ss.Services {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// TotalRate sums the substream rates (units per second).
+func (r Request) TotalRate() int {
+	total := 0
+	for _, ss := range r.Substreams {
+		total += ss.Rate
+	}
+	return total
+}
+
+// BitsPerSecond converts a rate in units/sec to bits/sec for this request's
+// unit size.
+func (r Request) BitsPerSecond(rate int) float64 {
+	return float64(rate) * float64(r.UnitBytes) * 8
+}

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/spec"
+)
+
+// AdaptationConfig tunes the origin-side adaptation loop: the "dynamic"
+// half of dynamic rate allocation. The origin watches each of its live
+// applications' delivery rates; when a substream falls below
+// MinRateFraction of its requirement over a check interval (a failed or
+// badly congested component), the application is torn down and re-composed
+// from fresh discovery and monitoring state.
+type AdaptationConfig struct {
+	// Interval between checks (default 5s).
+	Interval time.Duration
+	// MinRateFraction of the required rate below which a substream
+	// triggers re-composition (default 0.5).
+	MinRateFraction float64
+	// Composer used for re-composition (default MinCost).
+	Composer core.Composer
+	// UpgradeComposer is used for upgrade attempts of streams admitted
+	// below their desired rate (default MinCost with best-effort at
+	// 50%, so a failed upgrade still re-admits at the achievable rate).
+	UpgradeComposer core.Composer
+	// Timeout for the re-composition RPCs (default 10s).
+	Timeout time.Duration
+}
+
+func (c *AdaptationConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.MinRateFraction <= 0 {
+		c.MinRateFraction = 0.5
+	}
+	if c.Composer == nil {
+		c.Composer = &core.MinCost{}
+	}
+	if c.UpgradeComposer == nil {
+		c.UpgradeComposer = &core.MinCost{BestEffortFraction: 0.5}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+}
+
+// originState tracks one application originated at this engine for
+// adaptation purposes.
+type originState struct {
+	graph *core.ExecutionGraph
+	// desired is the request as originally submitted; a best-effort
+	// admission may have lowered graph.Request's rates below it.
+	desired      spec.Request
+	lastReceived map[int]int64
+	lastCheck    time.Duration
+	recomposing  bool
+}
+
+// admittedBelowDesired reports whether the live graph carries less than
+// the originally requested rate.
+func (st *originState) admittedBelowDesired() bool {
+	if len(st.desired.Substreams) != len(st.graph.Request.Substreams) {
+		return false
+	}
+	for l, ss := range st.desired.Substreams {
+		if st.graph.Request.Substreams[l].Rate < ss.Rate {
+			return true
+		}
+	}
+	return false
+}
+
+// EnableAdaptation starts the periodic delivery-rate check. Calling it
+// again replaces the configuration. The loop schedules itself forever;
+// deterministic simulations must advance time with RunUntil (not Run) once
+// adaptation is enabled, and should DisableAdaptation when draining.
+func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
+	cfg.defaults()
+	e.DisableAdaptation()
+	var tick func()
+	tick = func() {
+		e.checkAdaptation(cfg)
+		e.adaptCancel = e.clk.After(cfg.Interval, tick)
+	}
+	e.adaptCancel = e.clk.After(cfg.Interval, tick)
+}
+
+// DisableAdaptation stops the check loop.
+func (e *Engine) DisableAdaptation() {
+	if e.adaptCancel != nil {
+		e.adaptCancel()
+		e.adaptCancel = nil
+	}
+}
+
+// Recompositions counts adaptation-triggered re-compositions (diagnostics
+// and tests).
+func (e *Engine) Recompositions() int64 { return e.recompositions }
+
+// checkAdaptation inspects every live origin application and re-composes
+// the degraded ones.
+func (e *Engine) checkAdaptation(cfg AdaptationConfig) {
+	now := e.clk.Now()
+	for reqID, st := range e.origins {
+		if st.recomposing {
+			continue
+		}
+		elapsed := now - st.lastCheck
+		if elapsed <= 0 {
+			continue
+		}
+		degraded := false
+		for l, ss := range st.graph.Request.Substreams {
+			sink := e.sinks[sinkKey(reqID, l)]
+			if sink == nil {
+				continue
+			}
+			got := sink.Received - st.lastReceived[l]
+			st.lastReceived[l] = sink.Received
+			rate := float64(got) / elapsed.Seconds()
+			if rate < cfg.MinRateFraction*float64(ss.Rate) {
+				degraded = true
+			}
+		}
+		st.lastCheck = now
+		if degraded {
+			e.recompose(reqID, st, cfg.Composer, cfg.Timeout)
+			continue
+		}
+		// Upgrade path: a healthy application admitted below its desired
+		// rate retries composition at the full requirement — capacity
+		// may have freed since admission (dynamic rate allocation).
+		if st.admittedBelowDesired() {
+			e.recompose(reqID, st, cfg.UpgradeComposer, cfg.Timeout)
+		}
+	}
+}
+
+// recompose tears the application down and submits it again with fresh
+// state. The request keeps its ID; its sinks are replaced, so delivery
+// statistics restart from the re-composition.
+func (e *Engine) recompose(reqID string, st *originState, composer core.Composer, timeout time.Duration) {
+	st.recomposing = true
+	e.recompositions++
+	req := st.desired
+	if req.ID == "" {
+		req = st.graph.Request
+	}
+	oldGraph := st.graph
+	desired := st.desired
+	e.Teardown(st.graph, timeout)
+	delete(e.origins, reqID)
+	e.Submit(req, composer, timeout, func(g *core.ExecutionGraph, err error) {
+		if err != nil {
+			// Nothing composable right now — e.g. a lookup routed
+			// through a just-failed node. Re-register the old state so
+			// the next check retries; by then the failed RPCs have
+			// pruned the dead peer from the routing tables.
+			e.origins[reqID] = &originState{
+				graph:        oldGraph,
+				desired:      desired,
+				lastReceived: make(map[int]int64),
+				lastCheck:    e.clk.Now(),
+			}
+		}
+	})
+}

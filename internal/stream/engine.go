@@ -1,0 +1,418 @@
+package stream
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/monitor"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/sched"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// InBps and OutBps are the node's access link capacities, published
+	// in the availability vector.
+	InBps, OutBps float64
+	// SpeedFactor scales service processing times on this node
+	// (1 = reference speed; <1 is slower hardware). Default 1.
+	SpeedFactor float64
+	// QueueCapacity bounds the scheduler's ready queue (default 128).
+	QueueCapacity int
+	// Window is the monitoring window size h (default monitor.DefaultWindow).
+	Window int
+	// SchedPolicy selects the scheduling discipline: "llf" (default),
+	// "edf" or "fifo".
+	SchedPolicy string
+	// ProcJitter is the fractional random variation of processing times
+	// (e.g. 0.2 for ±20%). Default 0.
+	ProcJitter float64
+	// TimelyFactor scales the period into the timeliness slack used by
+	// sinks (default 1.0: a unit more than one period late is not
+	// timely).
+	TimelyFactor float64
+	// StatsMaxAge makes the stats RPC serve a cached report refreshed at
+	// most this often — an ablation of §3.2's continuous monitoring
+	// ("it is essential to use feedback"). 0 serves fresh reports.
+	StatsMaxAge time.Duration
+	// KeepDelaySamples retains every delivered unit's end-to-end delay
+	// in the sink for percentile analysis (costs memory proportional to
+	// units delivered).
+	KeepDelaySamples bool
+}
+
+func (c *Config) defaults() {
+	if c.SpeedFactor <= 0 {
+		c.SpeedFactor = 1
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 128
+	}
+	if c.TimelyFactor <= 0 {
+		c.TimelyFactor = 1
+	}
+}
+
+// component is a running instance of a service on this engine.
+type component struct {
+	key       string
+	msg       instantiateMsg
+	split     *splitter
+	outCredit float64
+}
+
+// unitTask is the payload carried through the scheduler queue.
+type unitTask struct {
+	comp *component
+	msg  dataMsg
+}
+
+// Engine is one node's stream-processing runtime: it hosts components,
+// runs the node's ready queue on a single simulated CPU, serves the stats
+// and instantiation protocols, and (at the request origin) runs sources
+// and sinks.
+type Engine struct {
+	node *overlay.Node
+	clk  clock.Clock
+	rng  *rand.Rand
+	cfg  Config
+
+	Monitor *monitor.NodeMonitor
+	Dir     *discovery.Directory
+	queue   sched.Policy
+	busy    bool
+
+	comps   map[string]*component
+	sinks   map[string]*Sink
+	sources map[string]*source
+
+	// origins tracks applications submitted from this engine, for the
+	// adaptation loop.
+	origins        map[string]*originState
+	adaptCancel    func()
+	recompositions int64
+
+	// tracer, when set, records per-unit events.
+	tracer *trace.Buffer
+
+	// statsCache serves bounded-age reports when StatsMaxAge is set.
+	statsCache   []byte
+	statsCacheAt time.Duration
+
+	// Drop counters by cause (diagnostics).
+	DropsQueueFull int64
+	DropsLaxity    int64
+	DropsUplink    int64
+	DropsDownlink  int64
+
+	// Catalog supplies service definitions for locally hosted services.
+	Catalog map[string]spec.ServiceDef
+}
+
+// NewEngine attaches a stream runtime to an overlay node. dir may be nil
+// for pure worker nodes that never submit requests.
+func NewEngine(node *overlay.Node, clk clock.Clock, dir *discovery.Directory, catalog map[string]spec.ServiceDef, rng *rand.Rand, cfg Config) *Engine {
+	cfg.defaults()
+	e := &Engine{
+		node:    node,
+		clk:     clk,
+		rng:     rng,
+		cfg:     cfg,
+		Monitor: monitor.NewNodeMonitor(cfg.InBps, cfg.OutBps, cfg.Window),
+		Dir:     dir,
+		queue:   sched.NewPolicy(cfg.SchedPolicy, cfg.QueueCapacity),
+		comps:   make(map[string]*component),
+		sinks:   make(map[string]*Sink),
+		sources: make(map[string]*source),
+		origins: make(map[string]*originState),
+		Catalog: catalog,
+	}
+	e.Monitor.SetQueueLenFunc(e.queue.Len)
+	e.Monitor.SetCPU(cfg.SpeedFactor)
+	node.Register(appData, e.onData)
+	node.RegisterDropObserver(appData, e.onDataDropped)
+	node.RegisterRequest(appInstantiate, e.onInstantiate)
+	node.RegisterRequest(appTeardown, e.onTeardown)
+	node.RegisterRequest(appStats, e.onStats)
+	return e
+}
+
+// Node returns the engine's overlay node.
+func (e *Engine) Node() *overlay.Node { return e.node }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Components returns the number of live component instances.
+func (e *Engine) Components() int { return len(e.comps) }
+
+// SetTracer attaches an event buffer recording this engine's per-unit
+// events (emit/arrive/process/forward/drop/deliver). Pass nil to detach.
+func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
+
+// traceEvent appends an event when tracing is on.
+func (e *Engine) traceEvent(kind trace.Kind, m dataMsg, stage int, note string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Append(trace.Event{
+		At:        e.clk.Now(),
+		Kind:      kind,
+		Node:      string(e.node.Addr()),
+		Req:       m.Req,
+		Substream: m.Substream,
+		Stage:     stage,
+		Seq:       m.Seq,
+		Note:      note,
+	})
+}
+
+// Sink returns the sink for a request substream hosted at this engine, or
+// nil.
+func (e *Engine) Sink(req string, substream int) *Sink {
+	return e.sinks[sinkKey(req, substream)]
+}
+
+// EmittedUnits returns how many data units the local source for a request
+// substream has sent (0 when this engine hosts no such source).
+func (e *Engine) EmittedUnits(req string, substream int) int64 {
+	return emittedOf(e.sources[sinkKey(req, substream)])
+}
+
+// EmittedBytes returns the total bytes the local source for a request
+// substream has sent.
+func (e *Engine) EmittedBytes(req string, substream int) int64 {
+	if s := e.sources[sinkKey(req, substream)]; s != nil {
+		return s.EmittedBytes
+	}
+	return 0
+}
+
+func sinkKey(req string, substream int) string { return req + "/" + itoa(substream) }
+
+// onStats serves the monitoring report to composing nodes, optionally from
+// a bounded-age cache (the stale-statistics ablation).
+func (e *Engine) onStats(_ overlay.NodeInfo, _ []byte, respond func([]byte, string)) {
+	now := e.clk.Now()
+	if e.cfg.StatsMaxAge > 0 && e.statsCache != nil && now-e.statsCacheAt < e.cfg.StatsMaxAge {
+		respond(e.statsCache, "")
+		return
+	}
+	rep := e.Monitor.Report(now)
+	b, err := json.Marshal(rep)
+	if err != nil {
+		respond(nil, "stream: marshal stats: "+err.Error())
+		return
+	}
+	if e.cfg.StatsMaxAge > 0 {
+		e.statsCache = b
+		e.statsCacheAt = now
+	}
+	respond(b, "")
+}
+
+// onInstantiate creates one component instance.
+func (e *Engine) onInstantiate(_ overlay.NodeInfo, body []byte, respond func([]byte, string)) {
+	var m instantiateMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		respond(nil, "stream: bad instantiate: "+err.Error())
+		return
+	}
+	key := componentKey(m.Req, m.Substream, m.Stage)
+	e.comps[key] = &component{key: key, msg: m, split: newSplitter(m.Outs)}
+	respond([]byte("ok"), "")
+}
+
+// onTeardown removes a request's components and stops its sources.
+func (e *Engine) onTeardown(_ overlay.NodeInfo, body []byte, respond func([]byte, string)) {
+	var m teardownMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		respond(nil, "stream: bad teardown: "+err.Error())
+		return
+	}
+	e.StopRequest(m.Req)
+	respond([]byte("ok"), "")
+}
+
+// StopRequest stops local sources and removes local components of req.
+// Sinks are kept so their statistics remain readable.
+func (e *Engine) StopRequest(req string) {
+	for key, src := range e.sources {
+		if src.req == req {
+			src.stopped = true
+			delete(e.sources, key)
+		}
+	}
+	for key, c := range e.comps {
+		if c.msg.Req == req {
+			delete(e.comps, key)
+		}
+	}
+	delete(e.origins, req)
+}
+
+// onDataDropped records a data unit lost at this node's downlink
+// (receive-buffer overflow). The drop is attributed to the component the
+// unit was addressed to, feeding the drop-ratio statistic exactly like a
+// queue or deadline drop.
+func (e *Engine) onDataDropped(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
+	var m dataMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return
+	}
+	e.DropsDownlink++
+	e.traceEvent(trace.KindDrop, m, m.Stage, "downlink")
+	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
+		e.Monitor.ObserveDrop("sink:"+sinkKey(m.Req, m.Substream), "sink")
+		return
+	}
+	key := componentKey(m.Req, m.Substream, m.Stage)
+	if c, ok := e.comps[key]; ok {
+		e.Monitor.ObserveDrop(key, c.msg.Service)
+	}
+}
+
+// onData handles an arriving data unit: sink delivery or enqueue for a
+// local component.
+func (e *Engine) onData(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
+	var m dataMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return
+	}
+	now := e.clk.Now()
+	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
+		e.Monitor.ObserveArrival("sink:"+sinkKey(m.Req, m.Substream), "sink", now, m.Size)
+		e.traceEvent(trace.KindDeliver, m, m.Stage, "")
+		s.observe(m, now)
+		return
+	}
+	key := componentKey(m.Req, m.Substream, m.Stage)
+	c, ok := e.comps[key]
+	if !ok {
+		return // stale unit for a torn-down component
+	}
+	e.Monitor.ObserveArrival(key, c.msg.Service, now, m.Size)
+	e.traceEvent(trace.KindArrive, m, m.Stage, c.msg.Service)
+	period := time.Duration(float64(time.Second) / c.msg.Rate)
+	exec := e.Monitor.MeanProc(key)
+	if exec == 0 {
+		exec = e.scaledProc(c)
+	}
+	u := &sched.Unit{
+		ComponentKey: key,
+		Deadline:     now + period,
+		ExecTime:     exec,
+		Enqueued:     now,
+		Payload:      unitTask{comp: c, msg: m},
+	}
+	if !e.queue.Push(u) {
+		e.DropsQueueFull++
+		e.traceEvent(trace.KindDrop, m, m.Stage, "queue-full")
+		e.Monitor.ObserveDrop(key, c.msg.Service) // queue overflow
+		return
+	}
+	e.kick()
+}
+
+// scaledProc returns the component's reference processing time adjusted
+// for this node's speed.
+func (e *Engine) scaledProc(c *component) time.Duration {
+	return time.Duration(float64(c.msg.ProcHint) / e.cfg.SpeedFactor)
+}
+
+// kick runs the CPU loop: if idle, pick the next unit (dropping ones whose
+// laxity went negative) and simulate its processing time.
+func (e *Engine) kick() {
+	if e.busy {
+		return
+	}
+	u, dropped := e.queue.Next(e.clk.Now())
+	for _, d := range dropped {
+		task := d.Payload.(unitTask)
+		e.DropsLaxity++
+		e.traceEvent(trace.KindDrop, task.msg, task.msg.Stage, "laxity")
+		e.Monitor.ObserveDrop(d.ComponentKey, task.comp.msg.Service)
+	}
+	if u == nil {
+		return
+	}
+	task := u.Payload.(unitTask)
+	proc := e.scaledProc(task.comp)
+	if e.cfg.ProcJitter > 0 {
+		f := 1 + e.cfg.ProcJitter*(2*e.rng.Float64()-1)
+		proc = time.Duration(float64(proc) * f)
+	}
+	if proc <= 0 {
+		proc = time.Microsecond
+	}
+	e.busy = true
+	e.clk.After(proc, func() {
+		e.busy = false
+		e.Monitor.ObserveProcessed(u.ComponentKey, task.comp.msg.Service, proc)
+		e.Monitor.ObserveBusy(e.clk.Now(), proc)
+		e.traceEvent(trace.KindProcess, task.msg, task.msg.Stage, task.comp.msg.Service)
+		e.forward(task.comp, task.msg)
+		e.kick()
+	})
+}
+
+// forward produces the component's output units and sends them downstream
+// according to the composed rate split. The rate ratio accumulates as a
+// credit so non-unit ratios emit the right long-run rate.
+func (e *Engine) forward(c *component, in dataMsg) {
+	ratio := c.msg.RateRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	c.outCredit += ratio
+	const epsilon = 1e-9
+	for c.outCredit >= 1-epsilon {
+		c.outCredit--
+		out := c.split.next()
+		if out == nil {
+			return
+		}
+		size := c.msg.BytesOut
+		if size <= 0 {
+			size = in.Size
+		}
+		dm := dataMsg{
+			Req:       in.Req,
+			Substream: in.Substream,
+			Stage:     out.ToStage,
+			Seq:       in.Seq,
+			Created:   in.Created,
+			Size:      size,
+		}
+		if err := e.sendUnit(out.To, dm); err != nil {
+			// Uplink congestion: the unit is dropped here, and the
+			// drop feeds the component's ratio — the congestion
+			// feedback RASC's composition relies on.
+			e.DropsUplink++
+			e.traceEvent(trace.KindDrop, dm, in.Stage, "uplink")
+			e.Monitor.ObserveDrop(c.key, c.msg.Service)
+		} else {
+			e.traceEvent(trace.KindForward, dm, in.Stage, "")
+		}
+	}
+}
+
+// sendUnit transmits one data unit, padding the wire message to the unit's
+// simulated size. It returns an error when the unit was dropped locally.
+func (e *Engine) sendUnit(to overlay.NodeInfo, m dataMsg) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	pad := m.Size - len(body)
+	if pad < 0 {
+		pad = 0
+	}
+	e.Monitor.ObserveSend(e.clk.Now(), m.Size)
+	return e.node.DirectPadded(to.Addr, appData, body, pad)
+}

@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/metrics"
+)
+
+// Sink receives a substream at the destination and measures the delivery
+// metrics of §4.2: end-to-end delay, jitter (lateness against the deadline
+// set by the previous arrival plus the period), out-of-order arrivals, and
+// timeliness (in order and within the rate requirement's tolerance).
+type Sink struct {
+	Req       string
+	Substream int
+	// Stages is the substream's chain length; units addressed to stage
+	// == Stages belong to this sink.
+	Stages int
+	// Period is the required inter-arrival time (1/r_req).
+	Period time.Duration
+	// TimelySlack is the maximum lateness for a unit to count as timely.
+	TimelySlack time.Duration
+
+	// PlayoutDelay, when positive, enables the media playout model:
+	// playback starts PlayoutDelay after the first arrival and consumes
+	// one unit per Period; a unit arriving past its playback deadline
+	// is a rebuffering stall, after which playback restarts.
+	PlayoutDelay time.Duration
+
+	// Counters.
+	Received    int64
+	OutOfOrder  int64
+	Timely      int64
+	TotalDelay  time.Duration
+	TotalJitter time.Duration
+	// Stalls counts rebuffering events under the playout model.
+	Stalls int64
+	// Delays retains per-unit end-to-end delays (milliseconds) for
+	// percentile analysis when the engine enables KeepDelaySamples.
+	Delays *metrics.Histogram
+
+	maxSeq       int64
+	lastArrival  time.Duration
+	started      bool
+	playoutBase  time.Duration // deadline(seq) = playoutBase + seq*Period
+	playoutReady bool
+}
+
+func newSink(req string, substream, stages int, period, slack, playout time.Duration) *Sink {
+	return &Sink{
+		Req: req, Substream: substream, Stages: stages,
+		Period: period, TimelySlack: slack, PlayoutDelay: playout, maxSeq: -1,
+	}
+}
+
+// observe records the arrival of one data unit at virtual time now.
+func (s *Sink) observe(m dataMsg, now time.Duration) {
+	s.Received++
+	s.TotalDelay += now - m.Created
+	if s.Delays != nil {
+		s.Delays.Add(float64(now-m.Created) / float64(time.Millisecond))
+	}
+	inOrder := m.Seq > s.maxSeq
+	if inOrder {
+		s.maxSeq = m.Seq
+	} else {
+		s.OutOfOrder++
+	}
+	if s.PlayoutDelay > 0 {
+		s.observePlayout(m.Seq, now)
+	}
+	if !s.started {
+		s.started = true
+		s.lastArrival = now
+		s.Timely++
+		return
+	}
+	deadline := s.lastArrival + s.Period
+	late := now - deadline
+	if late > 0 {
+		s.TotalJitter += late
+	}
+	if inOrder && late <= s.TimelySlack {
+		s.Timely++
+	}
+	s.lastArrival = now
+}
+
+// observePlayout advances the playback model: each unit must arrive before
+// its playback instant; a late unit stalls playback, which restarts with
+// the full playout delay.
+func (s *Sink) observePlayout(seq int64, now time.Duration) {
+	if !s.playoutReady {
+		s.playoutReady = true
+		s.playoutBase = now + s.PlayoutDelay - time.Duration(seq)*s.Period
+		return
+	}
+	deadline := s.playoutBase + time.Duration(seq)*s.Period
+	if now > deadline {
+		s.Stalls++
+		// Rebuffer: this unit plays PlayoutDelay from now.
+		s.playoutBase = now + s.PlayoutDelay - time.Duration(seq)*s.Period
+	}
+}
+
+// MeanDelay returns the average end-to-end delay of delivered units.
+func (s *Sink) MeanDelay() time.Duration {
+	if s.Received == 0 {
+		return 0
+	}
+	return s.TotalDelay / time.Duration(s.Received)
+}
+
+// MeanJitter returns the average jitter per delivered unit.
+func (s *Sink) MeanJitter() time.Duration {
+	if s.Received == 0 {
+		return 0
+	}
+	return s.TotalJitter / time.Duration(s.Received)
+}
+
+// TimelyFraction returns the fraction of delivered units that arrived in
+// order and on time.
+func (s *Sink) TimelyFraction() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.Timely) / float64(s.Received)
+}
+
+// OutOfOrderFraction returns the fraction of delivered units that arrived
+// after a successor.
+func (s *Sink) OutOfOrderFraction() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.OutOfOrder) / float64(s.Received)
+}
+
+// SinkSnapshot is a copyable summary of a sink's statistics, safe to hand
+// across goroutines (the live runtime reads it off the actor loop).
+type SinkSnapshot struct {
+	Emitted    int64
+	Received   int64
+	Timely     int64
+	OutOfOrder int64
+	Stalls     int64
+	MeanDelay  time.Duration
+	MeanJitter time.Duration
+}
+
+// Snapshot summarizes a sink.
+func Snapshot(s *Sink) SinkSnapshot {
+	return SinkSnapshot{
+		Received:   s.Received,
+		Timely:     s.Timely,
+		OutOfOrder: s.OutOfOrder,
+		Stalls:     s.Stalls,
+		MeanDelay:  s.MeanDelay(),
+		MeanJitter: s.MeanJitter(),
+	}
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// traceEmitKind aliases the emit kind for the source loop.
+const traceEmitKind = trace.KindEmit
+
+// source emits a substream's data units at the requested rate, spreading
+// them across the stage-0 component instances according to the composed
+// split. A bursty source varies unit sizes (VBR) while keeping the unit
+// rate constant.
+type source struct {
+	req        string
+	substream  int
+	rate       float64
+	unitBytes  int
+	burstiness float64
+	split      *splitter
+	seq        int64
+	// Emitted counts units sent so far; EmittedBytes their total size.
+	Emitted      int64
+	EmittedBytes int64
+	stopped      bool
+}
+
+// Emitted returns the number of units a source has sent (0 for nil).
+func emittedOf(s *source) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Emitted
+}
+
+// startSource installs and starts a source for one substream of a request
+// originated at this engine.
+func (e *Engine) startSource(req string, substream int, ss spec.Substream, unitBytes int, outs []outSpec) *source {
+	s := &source{
+		req:        req,
+		substream:  substream,
+		rate:       float64(ss.Rate),
+		unitBytes:  unitBytes,
+		burstiness: ss.Burstiness,
+		split:      newSplitter(outs),
+	}
+	e.sources[sinkKey(req, substream)] = s
+	period := time.Duration(float64(time.Second) / s.rate)
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		out := s.split.next()
+		if out != nil {
+			size := unitBytes
+			if s.burstiness > 0 {
+				f := 1 + s.burstiness*(2*e.rng.Float64()-1)
+				size = int(float64(unitBytes) * f)
+				if size < 1 {
+					size = 1
+				}
+			}
+			m := dataMsg{
+				Req:       req,
+				Substream: substream,
+				Stage:     out.ToStage,
+				Seq:       s.seq,
+				Created:   e.clk.Now(),
+				Size:      size,
+			}
+			s.seq++
+			s.Emitted++
+			s.EmittedBytes += int64(size)
+			e.traceEvent(traceEmitKind, m, -1, "")
+			if err := e.sendUnit(out.To, m); err != nil {
+				// The origin's own uplink is congested: record the
+				// drop so the node's ratio reflects it.
+				e.Monitor.ObserveDrop("source:"+sinkKey(req, substream), "source")
+			}
+		}
+		e.clk.After(period, tick)
+	}
+	// Desynchronize sources slightly so simultaneous requests do not
+	// beat in lockstep.
+	e.clk.After(time.Duration(e.rng.Int63n(int64(period))), tick)
+	return s
+}

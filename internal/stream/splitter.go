@@ -1,0 +1,38 @@
+package stream
+
+// splitter deterministically distributes a unit stream across downstream
+// targets in proportion to their assigned rates, using smooth weighted
+// round-robin: over any window of n units, each target receives its exact
+// share (±1 unit), and consecutive units alternate targets as evenly as
+// possible — keeping per-path ordering intact while realizing the composed
+// rate split.
+type splitter struct {
+	outs   []outSpec
+	credit []float64
+	total  float64
+}
+
+func newSplitter(outs []outSpec) *splitter {
+	s := &splitter{outs: outs, credit: make([]float64, len(outs))}
+	for _, o := range outs {
+		s.total += o.Rate
+	}
+	return s
+}
+
+// next picks the target for the next unit. It returns nil when the
+// splitter has no targets.
+func (s *splitter) next() *outSpec {
+	if len(s.outs) == 0 || s.total <= 0 {
+		return nil
+	}
+	best := 0
+	for i := range s.outs {
+		s.credit[i] += s.outs[i].Rate
+		if s.credit[i] > s.credit[best] {
+			best = i
+		}
+	}
+	s.credit[best] -= s.total
+	return &s.outs[best]
+}

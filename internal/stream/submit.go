@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/metrics"
+	"rasc.dev/rasc/internal/monitor"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/spec"
+)
+
+// Submit runs the full RASC composition pipeline for a request originated
+// at this engine (the steps of §3.1): discover the hosts offering each
+// requested service through the DHT, fetch their monitoring reports,
+// compose the execution graph with the given composer, instantiate the
+// components on their hosts, and start the sources and sinks. The callback
+// runs exactly once with the composed graph or an error.
+//
+// The engine must have been built with a discovery directory.
+func (e *Engine) Submit(req spec.Request, composer core.Composer, timeout time.Duration, cb func(*core.ExecutionGraph, error)) {
+	if err := req.Validate(); err != nil {
+		cb(nil, err)
+		return
+	}
+	if e.Dir == nil {
+		cb(nil, fmt.Errorf("stream: engine has no discovery directory"))
+		return
+	}
+	services := req.Services()
+	e.Dir.LookupMany(services, timeout, func(hosts map[string][]overlay.NodeInfo, err error) {
+		if err != nil {
+			cb(nil, fmt.Errorf("stream: discovery: %w", err))
+			return
+		}
+		e.gatherStats(req, composer, timeout, hosts, cb)
+	})
+}
+
+// gatherStats fetches monitoring reports from every distinct candidate
+// host, then proceeds to composition.
+func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout time.Duration,
+	hosts map[string][]overlay.NodeInfo, cb func(*core.ExecutionGraph, error)) {
+
+	// Deterministic ordering: distinct hosts sorted by ID.
+	byID := make(map[overlay.ID]overlay.NodeInfo)
+	for _, list := range hosts {
+		for _, h := range list {
+			byID[h.ID] = h
+		}
+	}
+	var unique []overlay.NodeInfo
+	for _, h := range byID {
+		unique = append(unique, h)
+	}
+	sort.Slice(unique, func(i, j int) bool { return unique[i].ID.Cmp(unique[j].ID) < 0 })
+
+	reports := make(map[overlay.ID]monitor.Report)
+	remaining := len(unique)
+	finish := func() {
+		e.compose(req, composer, timeout, hosts, reports, cb)
+	}
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, h := range unique {
+		h := h
+		if h.ID == e.node.ID() {
+			// Local host: read the monitor directly.
+			reports[h.ID] = e.Monitor.Report(e.clk.Now())
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+			continue
+		}
+		e.node.Request(h.Addr, appStats, nil, timeout, func(body []byte, err error) {
+			if err == nil {
+				var rep monitor.Report
+				if json.Unmarshal(body, &rep) == nil {
+					reports[h.ID] = rep
+				}
+			} else if errors.Is(err, overlay.ErrTimeout) {
+				// A silent host is treated as failed: prune it from
+				// the local routing state so subsequent lookups and
+				// routes steer around it.
+				e.node.RemovePeer(h.ID)
+			}
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// compose builds the composer input and runs composition, then moves on to
+// instantiation.
+func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.Duration,
+	hosts map[string][]overlay.NodeInfo, reports map[overlay.ID]monitor.Report,
+	cb func(*core.ExecutionGraph, error)) {
+
+	self := e.node.Info()
+	own := e.Monitor.Report(e.clk.Now())
+	in := core.Input{
+		Request:      req,
+		Source:       self,
+		Dest:         self,
+		SourceReport: own,
+		DestReport:   own,
+		Candidates:   make(map[string][]core.Candidate),
+		Catalog:      e.Catalog,
+		Rand:         e.rng,
+	}
+	for svc, list := range hosts {
+		var cands []core.Candidate
+		for _, h := range list {
+			rep, ok := reports[h.ID]
+			if !ok {
+				continue // stats fetch failed: exclude the host
+			}
+			cands = append(cands, core.Candidate{Info: h, Report: rep})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Info.ID.Cmp(cands[j].Info.ID) < 0 })
+		in.Candidates[svc] = cands
+	}
+	g, err := composer.Compose(in)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	e.instantiate(g, req, timeout, cb)
+}
+
+// stageUnitBytes computes the input unit size at every stage of a
+// substream, applying the services' byte ratios.
+func (e *Engine) stageUnitBytes(req spec.Request, substream int) []int {
+	chain := req.Substreams[substream].Services
+	sizes := make([]int, len(chain)+1)
+	size := float64(req.UnitBytes)
+	for j, svc := range chain {
+		sizes[j] = int(size)
+		if def, ok := e.Catalog[svc]; ok && def.BytesRatio > 0 {
+			size *= def.BytesRatio
+		}
+	}
+	sizes[len(chain)] = int(size)
+	return sizes
+}
+
+// instantiate ships every placement to its host and, once all acks are in,
+// starts the request's sinks and sources.
+func (e *Engine) instantiate(g *core.ExecutionGraph, desired spec.Request, timeout time.Duration, cb func(*core.ExecutionGraph, error)) {
+	byPlacement, sourceOuts := graphOuts(g)
+	remaining := len(g.Placements)
+	failed := false
+	done := func() {
+		if failed {
+			cb(nil, fmt.Errorf("stream: instantiation failed for request %s", g.Request.ID))
+			return
+		}
+		e.activate(g, sourceOuts, desired)
+		cb(g, nil)
+	}
+	if remaining == 0 {
+		done()
+		return
+	}
+	for _, p := range g.Placements {
+		p := p
+		sizes := e.stageUnitBytes(g.Request, p.Substream)
+		def := e.Catalog[p.Service]
+		ratio := def.RateRatio
+		if ratio <= 0 {
+			ratio = 1
+		}
+		msg := instantiateMsg{
+			Req:       g.Request.ID,
+			Substream: p.Substream,
+			Stage:     p.Stage,
+			Service:   p.Service,
+			Rate:      p.Rate,
+			UnitBytes: sizes[p.Stage],
+			ProcHint:  def.ProcPerUnit,
+			RateRatio: ratio,
+			BytesOut:  sizes[p.Stage+1],
+			Outs:      byPlacement[componentKey(g.Request.ID, p.Substream, p.Stage)+"@"+p.Host.ID.String()],
+		}
+		body, _ := json.Marshal(msg)
+		e.node.Request(p.Host.Addr, appInstantiate, body, timeout, func(_ []byte, err error) {
+			if err != nil {
+				failed = true
+			}
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// activate creates the request's sinks and starts its sources, and
+// registers the application for adaptation. desired is the request as
+// originally submitted (its rates may exceed a best-effort admission).
+func (e *Engine) activate(g *core.ExecutionGraph, sourceOuts map[int][]outSpec, desired spec.Request) {
+	for l, ss := range g.Request.Substreams {
+		period := time.Duration(float64(time.Second) / float64(ss.Rate))
+		slack := time.Duration(float64(period) * e.cfg.TimelyFactor)
+		sink := newSink(g.Request.ID, l, len(ss.Services), period, slack, g.Request.PlayoutDelay)
+		if e.cfg.KeepDelaySamples {
+			sink.Delays = &metrics.Histogram{}
+		}
+		e.sinks[sinkKey(g.Request.ID, l)] = sink
+		e.startSource(g.Request.ID, l, ss, g.Request.UnitBytes, sourceOuts[l])
+	}
+	e.origins[g.Request.ID] = &originState{
+		graph:        g,
+		desired:      desired,
+		lastReceived: make(map[int]int64),
+		lastCheck:    e.clk.Now(),
+	}
+}
+
+// Teardown stops a request everywhere: local sources/components plus a
+// teardown RPC to every placement host in the graph.
+func (e *Engine) Teardown(g *core.ExecutionGraph, timeout time.Duration) {
+	e.StopRequest(g.Request.ID)
+	body, _ := json.Marshal(teardownMsg{Req: g.Request.ID})
+	sent := make(map[overlay.ID]bool)
+	for _, p := range g.Placements {
+		if sent[p.Host.ID] || p.Host.ID == e.node.ID() {
+			continue
+		}
+		sent[p.Host.ID] = true
+		hostID := p.Host.ID
+		e.node.Request(p.Host.Addr, appTeardown, body, timeout, func(_ []byte, err error) {
+			if errors.Is(err, overlay.ErrTimeout) {
+				e.node.RemovePeer(hostID)
+			}
+		})
+	}
+}

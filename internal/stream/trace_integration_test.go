@@ -1,0 +1,87 @@
+package stream_test
+
+import (
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/deploy"
+	"rasc.dev/rasc/internal/trace"
+)
+
+func TestTracingEndToEnd(t *testing.T) {
+	s := deploy.NewSystem(deploy.SystemOptions{Nodes: 10, Seed: 61})
+	buf := trace.NewBuffer(100_000)
+	for _, e := range s.Engines {
+		e.SetTracer(buf)
+	}
+	req := simpleRequest("traced", 10, "filter", "encrypt")
+	submit(t, s, 0, req, &core.MinCost{})
+	s.Sim.RunUntil(s.Sim.Now() + 10*time.Second)
+
+	if buf.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Pick a delivered unit and reconstruct its timeline: it must pass
+	// emit → (arrive, process, forward) per stage → deliver, in order.
+	var seq int64 = -1
+	for _, e := range buf.Events() {
+		if e.Kind == trace.KindDeliver && e.Req == "traced" && e.Seq > 10 {
+			seq = e.Seq
+			break
+		}
+	}
+	if seq < 0 {
+		t.Fatal("no delivered unit found in the trace")
+	}
+	tl := buf.Timeline("traced", 0, seq)
+	kinds := map[trace.Kind]int{}
+	for _, e := range tl {
+		kinds[e.Kind]++
+	}
+	if kinds[trace.KindEmit] != 1 {
+		t.Fatalf("timeline emits = %d", kinds[trace.KindEmit])
+	}
+	if kinds[trace.KindArrive] != 2 || kinds[trace.KindProcess] != 2 || kinds[trace.KindForward] != 2 {
+		t.Fatalf("timeline kinds = %v\n%s", kinds, trace.FormatTimeline(tl))
+	}
+	if kinds[trace.KindDeliver] != 1 {
+		t.Fatalf("timeline delivers = %d", kinds[trace.KindDeliver])
+	}
+
+	// Per-stage latencies must exist for stages 0..2 and their sum must
+	// be close to (bounded by) the unit's end-to-end delay components.
+	lat := buf.StageLatencies("traced", 0)
+	if len(lat) != 3 {
+		t.Fatalf("stage latencies = %+v", lat)
+	}
+	var sum time.Duration
+	positive := 0
+	for _, sl := range lat {
+		if sl.Mean < 0 || sl.Count == 0 {
+			t.Fatalf("degenerate stage latency %+v", sl)
+		}
+		if sl.Mean > 0 {
+			positive++ // co-located hops legitimately measure 0
+		}
+		sum += sl.Mean
+	}
+	if positive == 0 {
+		t.Fatal("every hop measured zero latency")
+	}
+	sink := s.Engines[0].Sink("traced", 0)
+	// Network hop time must account for most of the end-to-end delay;
+	// processing adds the rest. Allow generous slack.
+	if sum > 2*sink.MeanDelay() {
+		t.Fatalf("stage latency sum %v inconsistent with mean delay %v", sum, sink.MeanDelay())
+	}
+
+	// Drop causes (if any) must use known labels.
+	for cause := range buf.DropsByCause() {
+		switch cause {
+		case "uplink", "downlink", "queue-full", "laxity":
+		default:
+			t.Fatalf("unknown drop cause %q", cause)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(at time.Duration, kind Kind, stage int, seq int64) Event {
+	return Event{At: at, Kind: kind, Node: "n", Req: "r", Substream: 0, Stage: stage, Seq: seq}
+}
+
+func TestBufferRingEviction(t *testing.T) {
+	b := NewBuffer(3)
+	for i := int64(0); i < 5; i++ {
+		b.Append(ev(time.Duration(i), KindEmit, -1, i))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Total() != 5 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	events := b.Events()
+	if events[0].Seq != 2 || events[2].Seq != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	b := NewBuffer(64)
+	b.Append(ev(10, KindEmit, -1, 7))
+	b.Append(ev(15, KindArrive, 0, 7))
+	b.Append(ev(16, KindProcess, 0, 7))
+	b.Append(ev(16, KindForward, 0, 7))
+	b.Append(ev(25, KindDeliver, 1, 7))
+	b.Append(ev(11, KindEmit, -1, 8)) // other unit: excluded
+	tl := b.Timeline("r", 0, 7)
+	if len(tl) != 5 {
+		t.Fatalf("timeline has %d events", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].At < tl[i-1].At {
+			t.Fatal("timeline out of order")
+		}
+	}
+	text := FormatTimeline(tl)
+	for _, want := range []string{"emit", "arrive", "process", "forward", "deliver"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStageLatencies(t *testing.T) {
+	b := NewBuffer(64)
+	// Two units: emit at t, arrive stage 0 at t+10ms, forward at t+12ms,
+	// deliver stage 1 at t+30ms.
+	for seq := int64(0); seq < 2; seq++ {
+		base := time.Duration(seq) * time.Second
+		b.Append(ev(base, KindEmit, -1, seq))
+		b.Append(ev(base+10*time.Millisecond, KindArrive, 0, seq))
+		b.Append(ev(base+12*time.Millisecond, KindForward, 0, seq))
+		b.Append(ev(base+30*time.Millisecond, KindDeliver, 1, seq))
+	}
+	lat := b.StageLatencies("r", 0)
+	if len(lat) != 2 {
+		t.Fatalf("stages = %+v", lat)
+	}
+	if lat[0].Stage != 0 || lat[0].Mean != 10*time.Millisecond || lat[0].Count != 2 {
+		t.Fatalf("stage 0 = %+v", lat[0])
+	}
+	if lat[1].Stage != 1 || lat[1].Mean != 18*time.Millisecond {
+		t.Fatalf("stage 1 = %+v", lat[1])
+	}
+}
+
+func TestDropsByCause(t *testing.T) {
+	b := NewBuffer(16)
+	b.Append(Event{Kind: KindDrop, Note: "uplink"})
+	b.Append(Event{Kind: KindDrop, Note: "uplink"})
+	b.Append(Event{Kind: KindDrop, Note: "laxity"})
+	b.Append(Event{Kind: KindDeliver})
+	got := b.DropsByCause()
+	if got["uplink"] != 2 || got["laxity"] != 1 || len(got) != 2 {
+		t.Fatalf("DropsByCause = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindEmit: "emit", KindArrive: "arrive", KindProcess: "process",
+		KindForward: "forward", KindDrop: "drop", KindDeliver: "deliver",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still format")
+	}
+}
+
+func TestTinyBufferClamp(t *testing.T) {
+	b := NewBuffer(0)
+	b.Append(Event{Kind: KindEmit})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}

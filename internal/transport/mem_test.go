@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/netsim"
+)
+
+func newTestNet(t *testing.T, n int) (*netsim.Simulator, *MemNetwork, []Endpoint) {
+	t.Helper()
+	sim := netsim.New(1)
+	nw := netsim.NewNetwork(sim, netsim.Config{
+		Latency: func(a, b netsim.NodeID) time.Duration { return 5 * time.Millisecond },
+	})
+	mem := NewMemNetwork(nw)
+	eps := make([]Endpoint, n)
+	for i := 0; i < n; i++ {
+		id := nw.AddNode(1e7, 1e7)
+		eps[i] = mem.Endpoint(id)
+	}
+	return sim, mem, eps
+}
+
+func TestMemSendReceive(t *testing.T) {
+	sim, _, eps := newTestNet(t, 2)
+	var gotFrom Addr
+	var gotMsg Message
+	eps[1].SetHandler(func(from Addr, msg Message) { gotFrom, gotMsg = from, msg })
+	if err := eps[0].Send(eps[1].Addr(), Message{Type: "ping", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if gotFrom != eps[0].Addr() {
+		t.Fatalf("from = %q, want %q", gotFrom, eps[0].Addr())
+	}
+	if gotMsg.Type != "ping" || string(gotMsg.Payload) != "x" {
+		t.Fatalf("msg = %+v", gotMsg)
+	}
+}
+
+func TestMemUnknownAddr(t *testing.T) {
+	_, _, eps := newTestNet(t, 1)
+	err := eps[0].Send("sim://99", Message{Type: "x"})
+	if err == nil {
+		t.Fatal("expected error for unknown address")
+	}
+}
+
+func TestMemClosedEndpoint(t *testing.T) {
+	sim, _, eps := newTestNet(t, 2)
+	received := 0
+	eps[1].SetHandler(func(Addr, Message) { received++ })
+	if err := eps[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Send to the closed endpoint fails to resolve.
+	if err := eps[0].Send(eps[1].Addr(), Message{Type: "x"}); err == nil {
+		t.Fatal("expected error sending to closed endpoint")
+	}
+	// Send from the closed endpoint fails immediately.
+	if err := eps[1].Send(eps[0].Addr(), Message{Type: "x"}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	sim.Run()
+	if received != 0 {
+		t.Fatalf("closed endpoint received %d messages", received)
+	}
+}
+
+func TestMemAddrFormat(t *testing.T) {
+	if MemAddr(7) != "sim://7" {
+		t.Fatalf("MemAddr(7) = %q", MemAddr(7))
+	}
+}
+
+func TestWireSizeMonotonic(t *testing.T) {
+	small := Message{Type: "a", Payload: make([]byte, 10)}
+	big := Message{Type: "a", Payload: make([]byte, 1000)}
+	if small.WireSize() >= big.WireSize() {
+		t.Fatal("WireSize not monotonic in payload length")
+	}
+	if small.WireSize() <= len(small.Payload) {
+		t.Fatal("WireSize must include header overhead")
+	}
+}

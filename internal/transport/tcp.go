@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxFrameSize bounds a single wire frame (guards against corrupt length
+// prefixes).
+const maxFrameSize = 16 << 20
+
+// tcpFrame is the on-the-wire frame: a 4-byte big-endian length followed
+// by this JSON document.
+type tcpFrame struct {
+	From Addr    `json:"from"`
+	Msg  Message `json:"msg"`
+}
+
+// TCPEndpoint is a transport endpoint over real TCP sockets. Outbound
+// connections are cached per destination; inbound frames are delivered
+// from per-connection reader goroutines, so the handler must be safe for
+// concurrent invocation (the live runtime serializes onto an actor loop).
+type TCPEndpoint struct {
+	listener net.Listener
+	addr     Addr
+
+	mu          sync.Mutex
+	conns       map[Addr]net.Conn
+	allConns    map[net.Conn]bool
+	handler     Handler
+	dropHandler Handler
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCP binds a TCP endpoint on listenAddr ("host:port"; port 0 picks a
+// free port). The returned endpoint's Addr is the actual bound address.
+func NewTCP(listenAddr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	e := &TCPEndpoint{
+		listener: ln,
+		addr:     Addr(ln.Addr().String()),
+		conns:    make(map[Addr]net.Conn),
+		allConns: make(map[net.Conn]bool),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (e *TCPEndpoint) Addr() Addr { return e.addr }
+
+// SetHandler installs the inbound message handler.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// SetDropHandler is a no-op: TCP delivers reliably, and kernel-level
+// datagram drops are not observable on this transport.
+func (e *TCPEndpoint) SetDropHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dropHandler = h
+}
+
+// Send transmits msg to the destination, dialing and caching a connection
+// on first use.
+func (e *TCPEndpoint) Send(to Addr, msg Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := e.conns[to]
+	e.mu.Unlock()
+	if !ok {
+		c, err := net.Dial("tcp", string(to))
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrUnknownAddr, to, err)
+		}
+		e.mu.Lock()
+		if existing, ok := e.conns[to]; ok {
+			e.mu.Unlock()
+			c.Close()
+			conn = existing
+		} else {
+			e.conns[to] = c
+			e.allConns[c] = true
+			e.mu.Unlock()
+			conn = c
+			// Frames may also arrive on this outbound connection.
+			e.wg.Add(1)
+			go e.readLoop(c)
+		}
+	}
+	body, err := json.Marshal(tcpFrame{From: e.addr, Msg: msg})
+	if err != nil {
+		return err
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, err := conn.Write(prefix[:]); err != nil {
+		e.dropConnLocked(to, conn)
+		return err
+	}
+	if _, err := conn.Write(body); err != nil {
+		e.dropConnLocked(to, conn)
+		return err
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) dropConnLocked(to Addr, conn net.Conn) {
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+	conn.Close()
+}
+
+// Close shuts the listener and every connection down and waits for reader
+// goroutines to exit.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	err := e.listener.Close()
+	for c := range e.allConns {
+		c.Close()
+	}
+	e.conns = map[Addr]net.Conn{}
+	e.allConns = map[net.Conn]bool{}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return err
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.allConns[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.allConns, conn)
+		e.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		var prefix [4]byte
+		if _, err := readFull(r, prefix[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(prefix[:])
+		if n > maxFrameSize {
+			conn.Close()
+			return
+		}
+		body := make([]byte, n)
+		if _, err := readFull(r, body); err != nil {
+			return
+		}
+		var frame tcpFrame
+		if err := json.Unmarshal(body, &frame); err != nil {
+			continue
+		}
+		e.mu.Lock()
+		h := e.handler
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(frame.From, frame.Msg)
+		}
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

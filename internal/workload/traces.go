@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rasc.dev/rasc/internal/spec"
+)
+
+// Save writes a request sequence as indented JSON, making generated
+// workloads inspectable and replayable.
+func Save(w io.Writer, reqs []spec.Request) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reqs)
+}
+
+// Load reads a request sequence written by Save, validating every request.
+func Load(r io.Reader) ([]spec.Request, error) {
+	var reqs []spec.Request
+	if err := json.NewDecoder(r).Decode(&reqs); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	seen := make(map[string]bool, len(reqs))
+	for i, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: request %d: %w", i, err)
+		}
+		if seen[req.ID] {
+			return nil, fmt.Errorf("workload: duplicate request ID %q", req.ID)
+		}
+		seen[req.ID] = true
+	}
+	return reqs, nil
+}
+
+// SaveFile writes a request sequence to path.
+func SaveFile(path string, reqs []spec.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Save(f, reqs)
+}
+
+// LoadFile reads a request sequence from path.
+func LoadFile(path string) ([]spec.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/spec"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names()}, 9)
+	want := g.Batch(20)
+	var buf bytes.Buffer
+	if err := Save(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("round trip changed the workload")
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "{{{{",
+		"bad request":  `[{"id":"x","unitBytes":0,"substreams":[{"services":["a"],"rate":1}]}]`,
+		"duplicate id": `[{"id":"x","unitBytes":100,"substreams":[{"services":["a"],"rate":1}]},{"id":"x","unitBytes":100,"substreams":[{"services":["a"],"rate":1}]}]`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names()}, 10)
+	want := g.Batch(5)
+	path := filepath.Join(t.TempDir(), "workload.json")
+	if err := SaveFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[3].ID != want[3].ID {
+		t.Fatalf("file round trip: %+v", got)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadPreservesExtendedFields(t *testing.T) {
+	reqs := []spec.Request{{
+		ID:           "media",
+		UnitBytes:    2500,
+		PlayoutDelay: 500_000_000,
+		Substreams: []spec.Substream{
+			{Services: []string{"transcode"}, Rate: 10, Burstiness: 0.4},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Save(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].PlayoutDelay != reqs[0].PlayoutDelay || got[0].Substreams[0].Burstiness != 0.4 {
+		t.Fatalf("extended fields lost: %+v", got[0])
+	}
+}

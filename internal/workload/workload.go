@@ -1,0 +1,130 @@
+// Package workload generates the experimental workload of §4.1: random
+// service requests of 2–5 services drawn from the catalog, with required
+// rates between 50 and 200 Kbps, against a 32-node deployment offering 10
+// unique services at 5 per node.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rasc.dev/rasc/internal/spec"
+)
+
+// Config parameterizes a request generator.
+type Config struct {
+	// Services is the pool of service names to draw from.
+	Services []string
+	// MinServices and MaxServices bound the number of services per
+	// request (defaults 2 and 5, §4.1).
+	MinServices, MaxServices int
+	// RateUnits is the fixed per-request rate in data units/sec,
+	// divided across the request's substreams; if zero, rates are
+	// drawn from RateChoices.
+	RateUnits int
+	// RateChoices are the candidate per-request rates (units/sec)
+	// drawn uniformly when RateUnits is zero. Defaults to
+	// {5,10,15,20}, i.e. 50–200 Kbps at the default unit size.
+	RateChoices []int
+	// UnitBytes is the data unit size (default 1250 bytes = 10 kbit, so
+	// one unit/sec = 10 Kbps).
+	UnitBytes int
+	// MaxSubstreams bounds the substreams per request (default 2).
+	// Services are partitioned across substreams.
+	MaxSubstreams int
+}
+
+func (c *Config) defaults() {
+	if c.MinServices == 0 {
+		c.MinServices = 2
+	}
+	if c.MaxServices == 0 {
+		c.MaxServices = 5
+	}
+	if c.UnitBytes == 0 {
+		c.UnitBytes = 1250
+	}
+	if c.MaxSubstreams == 0 {
+		c.MaxSubstreams = 2
+	}
+	if c.RateUnits == 0 && len(c.RateChoices) == 0 {
+		c.RateChoices = []int{5, 10, 15, 20}
+	}
+}
+
+// Generator produces a deterministic stream of random requests.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	n   int
+}
+
+// NewGenerator creates a generator with its own seeded random source.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	cfg.defaults()
+	if len(cfg.Services) == 0 {
+		panic("workload: Config.Services is empty")
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next generates the next request.
+func (g *Generator) Next() spec.Request {
+	g.n++
+	cfg := g.cfg
+	count := cfg.MinServices
+	if cfg.MaxServices > cfg.MinServices {
+		count += g.rng.Intn(cfg.MaxServices - cfg.MinServices + 1)
+	}
+	if count > len(cfg.Services) {
+		count = len(cfg.Services)
+	}
+	// Draw distinct services.
+	perm := g.rng.Perm(len(cfg.Services))[:count]
+	chosen := make([]string, count)
+	for i, k := range perm {
+		chosen[i] = cfg.Services[k]
+	}
+	// Partition into substreams.
+	nSub := 1
+	if cfg.MaxSubstreams > 1 && count >= 2 {
+		nSub = 1 + g.rng.Intn(cfg.MaxSubstreams)
+		if nSub > count {
+			nSub = count
+		}
+	}
+	subs := make([]spec.Substream, nSub)
+	for i, svc := range chosen {
+		subs[i%nSub].Services = append(subs[i%nSub].Services, svc)
+	}
+	// The request's total rate is split across its substreams (the
+	// paper's 50–200 Kbps figures are per request).
+	rate := cfg.RateUnits
+	if rate == 0 {
+		rate = cfg.RateChoices[g.rng.Intn(len(cfg.RateChoices))]
+	}
+	base, rem := rate/nSub, rate%nSub
+	for i := range subs {
+		subs[i].Rate = base
+		if i < rem {
+			subs[i].Rate++
+		}
+		if subs[i].Rate == 0 {
+			subs[i].Rate = 1
+		}
+	}
+	return spec.Request{
+		ID:         fmt.Sprintf("req-%03d", g.n),
+		UnitBytes:  cfg.UnitBytes,
+		Substreams: subs,
+	}
+}
+
+// Batch generates n requests.
+func (g *Generator) Batch(n int) []spec.Request {
+	out := make([]spec.Request, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

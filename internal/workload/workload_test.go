@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"rasc.dev/rasc/internal/services"
+)
+
+func TestGeneratorProducesValidRequests(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names()}, 1)
+	for i := 0; i < 200; i++ {
+		req := g.Next()
+		if err := req.Validate(); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		n := 0
+		total := 0
+		seen := map[string]bool{}
+		for _, ss := range req.Substreams {
+			n += len(ss.Services)
+			total += ss.Rate
+			for _, svc := range ss.Services {
+				if seen[svc] {
+					t.Fatalf("request %d repeats service %q", i, svc)
+				}
+				seen[svc] = true
+			}
+		}
+		found := false
+		for _, r := range []int{5, 10, 15, 20} {
+			if total == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("request %d total rate %d outside 50-200 Kbps choices", i, total)
+		}
+		if n < 2 || n > 5 {
+			t.Fatalf("request %d has %d services, want 2-5", i, n)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []string {
+		g := NewGenerator(Config{Services: services.Standard().Names()}, 42)
+		var ids []string
+		for i := 0; i < 10; i++ {
+			req := g.Next()
+			ids = append(ids, req.ID+":"+req.Substreams[0].Services[0])
+		}
+		return ids
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorFixedRateSplitsAcrossSubstreams(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names(), RateUnits: 15}, 3)
+	for i := 0; i < 50; i++ {
+		total := 0
+		for _, ss := range g.Next().Substreams {
+			if ss.Rate <= 0 {
+				t.Fatalf("non-positive substream rate %d", ss.Rate)
+			}
+			total += ss.Rate
+		}
+		if total != 15 {
+			t.Fatalf("total rate = %d, want fixed 15", total)
+		}
+	}
+}
+
+func TestGeneratorSingleSubstream(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names(), MaxSubstreams: 1}, 4)
+	for i := 0; i < 50; i++ {
+		if n := len(g.Next().Substreams); n != 1 {
+			t.Fatalf("substreams = %d, want 1", n)
+		}
+	}
+}
+
+func TestBatchIDsUnique(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names()}, 5)
+	batch := g.Batch(30)
+	seen := map[string]bool{}
+	for _, r := range batch {
+		if seen[r.ID] {
+			t.Fatalf("duplicate request ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestGeneratorPanicsWithoutServices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(Config{}, 1)
+}

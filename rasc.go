@@ -1,0 +1,290 @@
+// Package rasc is a Go implementation of RASC (RAte Splitting
+// Composition), the distributed stream processing system of Drougas and
+// Kalogeraki, "RASC: Dynamic Rate Allocation for Distributed Stream
+// Processing Applications" (IPDPS 2007).
+//
+// RASC composes stream-processing applications over a Pastry-style
+// overlay: services are discovered through a DHT, node resources (input
+// and output bandwidth) are monitored over sliding windows, data units are
+// scheduled with a least-laxity-first policy, and applications are
+// composed by reducing rate allocation to a minimum-cost flow problem —
+// splitting a service across several component instances when no single
+// node can carry the requested rate.
+//
+// The package offers a deterministic simulated deployment (a wide-area
+// network model standing in for the paper's PlanetLab testbed) through
+// which requests can be submitted with RASC's min-cost composer or the
+// paper's two baselines (random and greedy placement), and delivery
+// metrics — throughput, end-to-end delay, jitter, ordering, timeliness —
+// can be measured. See the examples directory and cmd/rasc-bench for the
+// paper's full evaluation.
+package rasc
+
+import (
+	"fmt"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/deploy"
+	"rasc.dev/rasc/internal/experiment"
+	"rasc.dev/rasc/internal/monitor"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// Request is a stream-processing request: a service request graph of
+// substreams plus per-substream rate requirements.
+type Request = spec.Request
+
+// Substream is one sequential chain of services in a request.
+type Substream = spec.Substream
+
+// ServiceDef describes one stream-processing service.
+type ServiceDef = spec.ServiceDef
+
+// Catalog maps service names to definitions.
+type Catalog = services.Catalog
+
+// StandardCatalog returns the ten unit-ratio services used in the paper's
+// experiments.
+func StandardCatalog() Catalog { return services.Standard() }
+
+// ExtendedCatalog adds services with non-unit rate ratios for the LP
+// composer.
+func ExtendedCatalog() Catalog { return services.Extended() }
+
+// Composer names accepted by Submit.
+const (
+	ComposerMinCost        = "mincost"
+	ComposerMinCostNoSplit = "mincost-nosplit"
+	ComposerMinCostCPU     = "mincost-cpu" // multi-resource: bandwidth + CPU
+	ComposerGreedy         = "greedy"
+	ComposerRandom         = "random"
+	ComposerLP             = "lp"
+	ComposerLPCPU          = "lp-cpu"
+)
+
+// Options configures a simulated RASC deployment.
+type Options struct {
+	// Nodes is the deployment size (default 32, the paper's testbed).
+	Nodes int
+	// Seed makes the deployment and every run on it reproducible.
+	Seed int64
+	// Catalog defaults to StandardCatalog().
+	Catalog Catalog
+	// ServicesPerNode is how many catalog services each node offers
+	// (default 5).
+	ServicesPerNode int
+	// MinBps/MaxBps bound per-node access-link capacity
+	// (default 150 Kbps – 1.2 Mbps, the calibrated experiment range).
+	MinBps, MaxBps float64
+	// SchedPolicy selects the node scheduler: "llf" (default), "edf" or
+	// "fifo".
+	SchedPolicy string
+}
+
+// System is a running simulated RASC deployment.
+type System struct {
+	d *deploy.System
+}
+
+// NewSimulated builds a deterministic simulated deployment: N overlay
+// nodes joined through Pastry, services registered in the DHT, a stream
+// engine on every node.
+func NewSimulated(opts Options) *System {
+	if opts.Nodes == 0 {
+		opts.Nodes = 32
+	}
+	if opts.MinBps == 0 {
+		opts.MinBps = 1.5e5
+	}
+	if opts.MaxBps == 0 {
+		opts.MaxBps = 1.2e6
+	}
+	topo := netsim.PlanetLabTopology(netsim.TopologyConfig{
+		Nodes:  opts.Nodes,
+		MinBps: opts.MinBps,
+		MaxBps: opts.MaxBps,
+	}, opts.Seed)
+	d := deploy.NewSystem(deploy.SystemOptions{
+		Nodes:            opts.Nodes,
+		Seed:             opts.Seed,
+		Topology:         topo,
+		MaxLinkBacklog:   300 * time.Millisecond,
+		CongestionJitter: 0.5,
+		Catalog:          opts.Catalog,
+		ServicesPerNode:  opts.ServicesPerNode,
+		SchedPolicy:      opts.SchedPolicy,
+		ProcJitter:       0.2,
+		HeterogeneousCPU: true,
+	})
+	return &System{d: d}
+}
+
+// Nodes returns the deployment size.
+func (s *System) Nodes() int { return len(s.d.Engines) }
+
+// ServicesAt lists the services node i announced.
+func (s *System) ServicesAt(i int) []string { return s.d.Placement[i] }
+
+// NodeAddr returns node i's transport address (as it appears in placement
+// listings).
+func (s *System) NodeAddr(i int) string { return string(s.d.Engines[i].Node().Addr()) }
+
+// Now returns the current virtual time.
+func (s *System) Now() time.Duration { return s.d.Sim.Now() }
+
+// Run advances the simulation by d of virtual time (streams keep flowing).
+func (s *System) Run(d time.Duration) {
+	s.d.Sim.RunUntil(s.d.Sim.Now() + d)
+}
+
+// Composition is a successfully composed application.
+type Composition struct {
+	origin int
+	sys    *System
+	// Graph is the execution graph: component placements with assigned
+	// rates and the data-flow edges between them.
+	Graph *core.ExecutionGraph
+}
+
+// Placements returns the composed component instances.
+func (c *Composition) Placements() []core.Placement { return c.Graph.Placements }
+
+// NumHosts returns how many distinct nodes host the application.
+func (c *Composition) NumHosts() int { return core.NumHosts(c.Graph) }
+
+// Submit composes and starts a request from the given origin node using
+// the named composer, advancing virtual time until composition completes.
+// On success the application is streaming; observe it with Run and
+// DeliveryStats.
+func (s *System) Submit(origin int, req Request, composer string) (*Composition, error) {
+	if origin < 0 || origin >= len(s.d.Engines) {
+		return nil, fmt.Errorf("rasc: origin %d outside deployment of %d nodes", origin, len(s.d.Engines))
+	}
+	comp, err := experiment.NewComposer(composer)
+	if err != nil {
+		return nil, err
+	}
+	var graph *core.ExecutionGraph
+	var submitErr error
+	done := false
+	s.d.Engines[origin].Submit(req, comp, 10*time.Second, func(g *core.ExecutionGraph, err error) {
+		graph, submitErr, done = g, err, true
+	})
+	deadline := s.d.Sim.Now() + 60*time.Second
+	for !done && s.d.Sim.Now() < deadline {
+		s.d.Sim.RunUntil(s.d.Sim.Now() + 100*time.Millisecond)
+	}
+	if !done {
+		return nil, fmt.Errorf("rasc: submission of %s did not complete", req.ID)
+	}
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	return &Composition{origin: origin, sys: s, Graph: graph}, nil
+}
+
+// Stop tears the application down on every host.
+func (c *Composition) Stop() {
+	c.sys.d.Engines[c.origin].Teardown(c.Graph, 10*time.Second)
+	c.sys.Run(time.Second)
+}
+
+// DeliveryStats aggregates a composition's delivery metrics across its
+// substreams.
+type DeliveryStats struct {
+	Emitted    int64
+	Received   int64
+	Timely     int64
+	OutOfOrder int64
+	// Stalls counts rebuffering events when the request enables the
+	// playout model (Request.PlayoutDelay > 0).
+	Stalls     int64
+	MeanDelay  time.Duration
+	MeanJitter time.Duration
+}
+
+// DeliveredFraction is Received/Emitted (0 when nothing was emitted).
+func (d DeliveryStats) DeliveredFraction() float64 {
+	if d.Emitted == 0 {
+		return 0
+	}
+	return float64(d.Received) / float64(d.Emitted)
+}
+
+// TimelyFraction is Timely/Received (0 when nothing was delivered).
+func (d DeliveryStats) TimelyFraction() float64 {
+	if d.Received == 0 {
+		return 0
+	}
+	return float64(d.Timely) / float64(d.Received)
+}
+
+// Stats reads the composition's current delivery metrics.
+func (c *Composition) Stats() DeliveryStats {
+	eng := c.sys.d.Engines[c.origin]
+	var out DeliveryStats
+	var sumDelay, sumJitter time.Duration
+	for l := range c.Graph.Request.Substreams {
+		out.Emitted += eng.EmittedUnits(c.Graph.Request.ID, l)
+		sink := eng.Sink(c.Graph.Request.ID, l)
+		if sink == nil {
+			continue
+		}
+		out.Received += sink.Received
+		out.Timely += sink.Timely
+		out.OutOfOrder += sink.OutOfOrder
+		out.Stalls += sink.Stalls
+		sumDelay += sink.TotalDelay
+		sumJitter += sink.TotalJitter
+	}
+	if out.Received > 0 {
+		out.MeanDelay = sumDelay / time.Duration(out.Received)
+		out.MeanJitter = sumJitter / time.Duration(out.Received)
+	}
+	return out
+}
+
+// Kill fail-stops node i: it stops sending and receiving. Peers observe
+// timeouts; enabled adaptation re-composes affected applications.
+func (s *System) Kill(i int) { s.d.Kill(i) }
+
+// EnableAdaptation turns on the origin-side adaptation loop at node i:
+// applications submitted from that node are re-composed when a substream's
+// delivery rate drops below half its requirement (checked every interval).
+func (s *System) EnableAdaptation(i int, interval time.Duration) {
+	s.d.Engines[i].EnableAdaptation(stream.AdaptationConfig{Interval: interval})
+}
+
+// Recompositions reports how many times node i's adaptation loop has
+// re-composed an application.
+func (s *System) Recompositions(i int) int64 { return s.d.Engines[i].Recompositions() }
+
+// TraceBuffer records per-unit events (emit/arrive/process/forward/drop/
+// deliver) for timeline reconstruction and per-hop latency analysis.
+type TraceBuffer = trace.Buffer
+
+// EnableTracing attaches a shared event buffer of the given capacity to
+// every node's engine and returns it. Use the buffer's Timeline,
+// StageLatencies and DropsByCause to analyze where units spend time and
+// why they are lost.
+func (s *System) EnableTracing(capacity int) *TraceBuffer {
+	buf := trace.NewBuffer(capacity)
+	for _, e := range s.d.Engines {
+		e.SetTracer(buf)
+	}
+	return buf
+}
+
+// Report is a node's monitoring snapshot.
+type Report = monitor.Report
+
+// NodeReport returns node i's current monitoring snapshot (availability
+// vector, drop ratio, per-component statistics).
+func (s *System) NodeReport(i int) Report {
+	return s.d.Engines[i].Monitor.Report(s.d.Sim.Now())
+}
