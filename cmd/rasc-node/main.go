@@ -36,6 +36,7 @@ func main() {
 		rateKbps  = flag.Int("rate", 100, "requested rate in Kbps for -submit")
 		unit      = flag.Int("unit", 1250, "data unit size in bytes")
 		udp       = flag.Bool("udp", false, "send stream data over UDP (control stays on TCP)")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer node.Close()
+	if *admin != "" {
+		adm, err := node.ServeAdmin(*admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "admin: %v\n", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint at http://%s (/metrics /healthz /debug/pprof)\n", adm.Addr())
+	}
 	fmt.Printf("node up at %s", node.Addr())
 	if len(services) > 0 {
 		fmt.Printf(" offering %v", services)

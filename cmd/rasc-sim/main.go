@@ -70,6 +70,7 @@ func main() {
 		origin   = flag.Int("origin", 0, "origin node index")
 		unit     = flag.Int("unit", 1250, "data unit size in bytes")
 		traceOn  = flag.Bool("trace", false, "trace per-unit events and print a sample timeline")
+		telOut   = flag.String("telemetry", "", "dump a final runtime telemetry snapshot (Prometheus text format) to this file, or \"-\" for stdout")
 		workFile = flag.String("workload", "", "replay a JSON workload file instead of a single request")
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
 	)
@@ -82,6 +83,7 @@ func main() {
 	}
 	if *workFile != "" {
 		replayWorkload(sys, *workFile, *composer, *duration)
+		dumpTelemetry(sys, *telOut)
 		return
 	}
 	chain := strings.Split(*svcList, ",")
@@ -138,4 +140,24 @@ func main() {
 		fmt.Println("\nsample unit timeline (seq 50):")
 		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
 	}
+	dumpTelemetry(sys, *telOut)
+}
+
+// dumpTelemetry writes the final runtime telemetry snapshot alongside the
+// result tables: to stdout for "-", to a file otherwise, nowhere when
+// unset.
+func dumpTelemetry(sys *rasc.System, dest string) {
+	if dest == "" {
+		return
+	}
+	snap := sys.TelemetrySnapshot()
+	if dest == "-" {
+		fmt.Printf("\nruntime telemetry:\n%s", snap)
+		return
+	}
+	if err := os.WriteFile(dest, []byte(snap), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote telemetry snapshot to %s\n", dest)
 }

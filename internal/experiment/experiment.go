@@ -17,6 +17,7 @@ import (
 	"rasc.dev/rasc/internal/netsim"
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/telemetry"
 	"rasc.dev/rasc/internal/workload"
 )
 
@@ -199,6 +200,11 @@ func (r RunStats) MeanJitterMs() float64 {
 type Results struct {
 	Config Config
 	Runs   []RunStats
+	// Telemetry is the process-wide runtime telemetry snapshot (Prometheus
+	// text format) captured when the sweep finished — the same metric
+	// catalogue a live node serves on /metrics, accumulated across every
+	// simulated node of every run.
+	Telemetry string
 }
 
 // Run executes the full sweep.
@@ -220,6 +226,7 @@ func Run(cfg Config) (*Results, error) {
 			}
 		}
 	}
+	res.Telemetry = telemetry.Default().String()
 	return res, nil
 }
 

@@ -1,0 +1,87 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+// AdminServer is the node's operational side port: /metrics (Prometheus
+// text format), /healthz (overlay membership + listener liveness) and
+// /debug/pprof. It runs on its own listener so operational traffic never
+// competes with the protocol port.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	node *Node
+}
+
+// ServeAdmin starts the admin endpoint on addr ("host:port", port 0 picks
+// a free port). Close the returned server when done; it is also shut down
+// by its own goroutine exiting when the listener closes.
+func (n *Node) ServeAdmin(addr string) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: admin listen %s: %w", addr, err)
+	}
+	a := &AdminServer{ln: ln, node: n}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the admin endpoint's bound address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin listener down.
+func (a *AdminServer) Close() error { return a.srv.Close() }
+
+// handleMetrics refreshes scrape-time gauges on the actor loop, then
+// writes the process registry.
+func (a *AdminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	a.node.DoSync(func() {
+		a.node.Engine.ExportTelemetry()
+		telActiveRequests.Set(float64(a.node.Engine.ActiveRequests()))
+	})
+	telemetry.Default().Handler().ServeHTTP(w, r)
+}
+
+// healthStatus is the /healthz response body.
+type healthStatus struct {
+	Joined   bool `json:"joined"`
+	Listener bool `json:"listener"`
+	// Peers is the number of overlay nodes this node currently knows.
+	Peers int `json:"peers"`
+}
+
+// handleHealthz reports 200 once the node has joined the overlay and its
+// protocol listener accepts connections, 503 otherwise.
+func (a *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var st healthStatus
+	a.node.DoSync(func() {
+		st.Joined = a.node.Overlay.Joined()
+		st.Peers = a.node.Overlay.NumKnown()
+	})
+	if c, err := net.DialTimeout("tcp", a.node.Addr(), 500*time.Millisecond); err == nil {
+		st.Listener = true
+		c.Close()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Joined || !st.Listener {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
+}

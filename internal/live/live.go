@@ -224,13 +224,19 @@ func (n *Node) Submit(req spec.Request, composerName string, timeout time.Durati
 		err   error
 	}
 	ch := make(chan result, 1)
+	telComposeAttempts.Inc()
 	n.Do(func() {
 		composer, err := core.ByName(composerName)
 		if err != nil {
+			telComposeFailures.Inc()
 			ch <- result{err: err}
 			return
 		}
 		n.Engine.Submit(req, composer, timeout, func(g *core.ExecutionGraph, err error) {
+			if err != nil {
+				telComposeFailures.Inc()
+			}
+			telActiveRequests.Set(float64(n.Engine.ActiveRequests()))
 			ch <- result{graph: g, err: err}
 		})
 	})

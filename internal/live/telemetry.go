@@ -1,0 +1,16 @@
+package live
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the live node (metric catalogue rasc_live_*).
+var (
+	telComposeAttempts = telemetry.Default().Counter(
+		"rasc_live_compose_attempts_total",
+		"Composition attempts submitted from this node.")
+	telComposeFailures = telemetry.Default().Counter(
+		"rasc_live_compose_failures_total",
+		"Composition attempts that failed (discovery, composition or instantiation).")
+	telActiveRequests = telemetry.Default().Gauge(
+		"rasc_live_active_requests",
+		"Requests originated at this node that are currently active.")
+)

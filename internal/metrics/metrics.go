@@ -100,6 +100,12 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.vals[rank]
 }
 
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest-rank, or 0
+// when empty: Quantile(0.5) == Percentile(50). It exists so experiment
+// code and runtime telemetry agree on percentile semantics (p0 is the
+// minimum, p100 the maximum, nearest-rank in between).
+func (h *Histogram) Quantile(q float64) float64 { return h.Percentile(q * 100) }
+
 // Merge incorporates every observation of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || len(other.vals) == 0 {
@@ -128,13 +134,19 @@ type Series struct {
 }
 
 // Table renders a figure: one row per x value, one column per series —
-// the same rows/columns the paper's plots show.
+// the same rows/columns the paper's plots show. Column order is the order
+// series were first Set, regardless of later updates.
 type Table struct {
 	Title  string
 	XLabel string
 	YLabel string
 	XVals  []int
 	Series []Series
+
+	// index maps a series label to its position in Series, so Set/Get on
+	// wide tables stay O(1) instead of scanning every column. It is
+	// rebuilt lazily, which keeps literal-constructed Tables working.
+	index map[string]int
 }
 
 // NewTable creates a table with the given axes.
@@ -142,23 +154,33 @@ func NewTable(title, xlabel, ylabel string, xvals []int) *Table {
 	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel, XVals: xvals}
 }
 
-// Set records a point for a series, creating the series on first use.
-func (t *Table) Set(label string, x int, y float64) {
-	for i := range t.Series {
-		if t.Series[i].Label == label {
-			t.Series[i].Points[x] = y
-			return
+// seriesIndex returns the position of label in Series, rebuilding the
+// index if the Series slice was modified out from under it.
+func (t *Table) seriesIndex(label string) (int, bool) {
+	if t.index == nil || len(t.index) != len(t.Series) {
+		t.index = make(map[string]int, len(t.Series))
+		for i := range t.Series {
+			t.index[t.Series[i].Label] = i
 		}
 	}
+	i, ok := t.index[label]
+	return i, ok
+}
+
+// Set records a point for a series, creating the series on first use.
+func (t *Table) Set(label string, x int, y float64) {
+	if i, ok := t.seriesIndex(label); ok {
+		t.Series[i].Points[x] = y
+		return
+	}
+	t.index[label] = len(t.Series)
 	t.Series = append(t.Series, Series{Label: label, Points: map[int]float64{x: y}})
 }
 
 // Get returns a point's value (0 when absent).
 func (t *Table) Get(label string, x int) float64 {
-	for i := range t.Series {
-		if t.Series[i].Label == label {
-			return t.Series[i].Points[x]
-		}
+	if i, ok := t.seriesIndex(label); ok {
+		return t.Series[i].Points[x]
 	}
 	return 0
 }

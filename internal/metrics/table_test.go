@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableColumnOrder asserts the label→index map keeps first-Set
+// ordering for rendering: columns appear in insertion order, and updating
+// an existing series never reorders.
+func TestTableColumnOrder(t *testing.T) {
+	tab := NewTable("t", "x", "y", []int{1, 2})
+	tab.Set("charlie", 1, 3)
+	tab.Set("alpha", 1, 1)
+	tab.Set("bravo", 1, 2)
+	tab.Set("charlie", 2, 30) // update must not reorder
+	tab.Set("alpha", 2, 10)
+
+	var labels []string
+	for _, s := range tab.Series {
+		labels = append(labels, s.Label)
+	}
+	want := []string{"charlie", "alpha", "bravo"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("column order = %v, want %v", labels, want)
+		}
+	}
+	header := strings.SplitN(tab.String(), "\n", 3)[1]
+	if c, a := strings.Index(header, "charlie"), strings.Index(header, "alpha"); c < 0 || a < 0 || c > a {
+		t.Fatalf("rendered header out of order: %q", header)
+	}
+	if got := tab.Get("charlie", 2); got != 30 {
+		t.Fatalf("Get(charlie, 2) = %g, want 30", got)
+	}
+	if got := tab.Get("absent", 1); got != 0 {
+		t.Fatalf("Get(absent) = %g, want 0", got)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "x,charlie,alpha,bravo\n") {
+		t.Fatalf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+// TestTableLiteral checks the lazy index handles Tables not built through
+// NewTable/Set (e.g. literals in analysis code).
+func TestTableLiteral(t *testing.T) {
+	tab := &Table{
+		XVals:  []int{1},
+		Series: []Series{{Label: "a", Points: map[int]float64{1: 5}}},
+	}
+	if got := tab.Get("a", 1); got != 5 {
+		t.Fatalf("Get on literal table = %g, want 5", got)
+	}
+	tab.Set("b", 1, 7)
+	if got := tab.Get("b", 1); got != 7 {
+		t.Fatalf("Get after Set = %g, want 7", got)
+	}
+	if tab.Series[0].Label != "a" || tab.Series[1].Label != "b" {
+		t.Fatalf("literal table order broken: %+v", tab.Series)
+	}
+}
+
+// TestHistogramQuantile pins the shared percentile semantics: p0 is the
+// minimum, p100 the maximum, nearest-rank in between, 0 when empty.
+func TestHistogramQuantile(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	var h Histogram
+	for _, v := range []float64{10, 30, 20, 50, 40} {
+		h.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 10},    // p0 = min
+		{-0.5, 10}, // clamped below
+		{0.5, 30},  // nearest-rank median of 5 values
+		{1, 50},    // p100 = max
+		{1.5, 50},  // clamped above
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+		if got, p := h.Quantile(c.q), h.Percentile(c.q*100); got != p {
+			t.Errorf("Quantile(%g)=%g disagrees with Percentile(%g)=%g", c.q, got, c.q*100, p)
+		}
+	}
+}

@@ -241,5 +241,6 @@ func (m *NodeMonitor) Report(now time.Duration) Report {
 			Dropped:     c.dropped,
 		}
 	}
+	export(r)
 	return r
 }

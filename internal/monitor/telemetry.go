@@ -1,0 +1,56 @@
+package monitor
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the monitoring subsystem (metric catalogue
+// rasc_monitor_*). Gauges capture the most recently assembled window
+// snapshot: a live node has exactly one NodeMonitor, so /metrics reflects
+// that node; in simulations the last reporting node wins, and the counter
+// still measures total report traffic.
+var (
+	telReports = telemetry.Default().Counter(
+		"rasc_monitor_reports_total",
+		"Monitoring snapshots assembled for composers or scrapes.")
+	telArrivalRate = telemetry.Default().Gauge(
+		"rasc_monitor_arrival_rate",
+		"Sum of per-component arrival rates in the last snapshot (units/sec).")
+	telMeanProc = telemetry.Default().Gauge(
+		"rasc_monitor_mean_proc_seconds",
+		"Mean per-component processing time in the last snapshot.")
+	telDropRatio = telemetry.Default().Gauge(
+		"rasc_monitor_drop_ratio",
+		"Node-level drop ratio over the window in the last snapshot.")
+	telQueueLen = telemetry.Default().Gauge(
+		"rasc_monitor_queue_len",
+		"Scheduler queue length in the last snapshot.")
+	telInBpsUsed = telemetry.Default().Gauge(
+		"rasc_monitor_in_bps_used",
+		"Inbound access-link bandwidth in use in the last snapshot (bits/sec).")
+	telOutBpsUsed = telemetry.Default().Gauge(
+		"rasc_monitor_out_bps_used",
+		"Outbound access-link bandwidth in use in the last snapshot (bits/sec).")
+	telCPUFraction = telemetry.Default().Gauge(
+		"rasc_monitor_cpu_fraction",
+		"CPU busy fraction over the window in the last snapshot.")
+)
+
+// export publishes a report to the process-wide telemetry registry.
+func export(r Report) {
+	telReports.Inc()
+	var rate, procSum float64
+	for _, c := range r.Components {
+		rate += c.ArrivalRate
+		procSum += c.MeanProc.Seconds()
+	}
+	telArrivalRate.Set(rate)
+	if n := len(r.Components); n > 0 {
+		telMeanProc.Set(procSum / float64(n))
+	} else {
+		telMeanProc.Set(0)
+	}
+	telDropRatio.Set(r.DropRatio)
+	telQueueLen.Set(float64(r.QueueLen))
+	telInBpsUsed.Set(r.InBpsUsed)
+	telOutBpsUsed.Set(r.OutBpsUsed)
+	telCPUFraction.Set(r.CPUFraction)
+}

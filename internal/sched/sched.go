@@ -89,12 +89,13 @@ func (h *unitHeap) Pop() interface{} {
 type llf struct {
 	heap     unitHeap
 	capacity int
+	m        policyMetrics
 }
 
 // NewLLF creates a least-laxity-first queue holding at most capacity units
 // (capacity <= 0 means unbounded).
 func NewLLF(capacity int) Policy {
-	q := &llf{capacity: capacity}
+	q := &llf{capacity: capacity, m: newPolicyMetrics("llf")}
 	q.heap.less = func(a, b *Unit) bool {
 		if a.laxityKey() != b.laxityKey() {
 			return a.laxityKey() < b.laxityKey()
@@ -109,9 +110,11 @@ func (q *llf) Len() int     { return q.heap.Len() }
 
 func (q *llf) Push(u *Unit) bool {
 	if q.capacity > 0 && q.heap.Len() >= q.capacity {
+		q.m.onReject()
 		return false
 	}
 	heap.Push(&q.heap, u)
+	q.m.onPush()
 	return true
 }
 
@@ -121,10 +124,12 @@ func (q *llf) Next(now time.Duration) (*Unit, []*Unit) {
 		u := q.heap.units[0]
 		if u.Laxity(now) < 0 {
 			heap.Pop(&q.heap)
+			q.m.onDrop(u, now)
 			dropped = append(dropped, u)
 			continue
 		}
 		heap.Pop(&q.heap)
+		q.m.onRun(u, now)
 		return u, dropped
 	}
 	return nil, dropped
@@ -135,11 +140,12 @@ func (q *llf) Next(now time.Duration) (*Unit, []*Unit) {
 type edf struct {
 	heap     unitHeap
 	capacity int
+	m        policyMetrics
 }
 
 // NewEDF creates an earliest-deadline-first queue.
 func NewEDF(capacity int) Policy {
-	q := &edf{capacity: capacity}
+	q := &edf{capacity: capacity, m: newPolicyMetrics("edf")}
 	q.heap.less = func(a, b *Unit) bool {
 		if a.Deadline != b.Deadline {
 			return a.Deadline < b.Deadline
@@ -154,9 +160,11 @@ func (q *edf) Len() int     { return q.heap.Len() }
 
 func (q *edf) Push(u *Unit) bool {
 	if q.capacity > 0 && q.heap.Len() >= q.capacity {
+		q.m.onReject()
 		return false
 	}
 	heap.Push(&q.heap, u)
+	q.m.onPush()
 	return true
 }
 
@@ -166,10 +174,12 @@ func (q *edf) Next(now time.Duration) (*Unit, []*Unit) {
 		u := q.heap.units[0]
 		if u.Laxity(now) < 0 {
 			heap.Pop(&q.heap)
+			q.m.onDrop(u, now)
 			dropped = append(dropped, u)
 			continue
 		}
 		heap.Pop(&q.heap)
+		q.m.onRun(u, now)
 		return u, dropped
 	}
 	return nil, dropped
@@ -181,19 +191,24 @@ func (q *edf) Next(now time.Duration) (*Unit, []*Unit) {
 type fifo struct {
 	units    []*Unit
 	capacity int
+	m        policyMetrics
 }
 
 // NewFIFO creates a first-in-first-out queue.
-func NewFIFO(capacity int) Policy { return &fifo{capacity: capacity} }
+func NewFIFO(capacity int) Policy {
+	return &fifo{capacity: capacity, m: newPolicyMetrics("fifo")}
+}
 
 func (q *fifo) Name() string { return "fifo" }
 func (q *fifo) Len() int     { return len(q.units) }
 
 func (q *fifo) Push(u *Unit) bool {
 	if q.capacity > 0 && len(q.units) >= q.capacity {
+		q.m.onReject()
 		return false
 	}
 	q.units = append(q.units, u)
+	q.m.onPush()
 	return true
 }
 
@@ -203,9 +218,11 @@ func (q *fifo) Next(now time.Duration) (*Unit, []*Unit) {
 		u := q.units[0]
 		q.units = q.units[1:]
 		if u.Laxity(now) < 0 {
+			q.m.onDrop(u, now)
 			dropped = append(dropped, u)
 			continue
 		}
+		q.m.onRun(u, now)
 		return u, dropped
 	}
 	return nil, dropped

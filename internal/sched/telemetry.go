@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+// Runtime telemetry for the scheduling hot path (metric catalogue
+// rasc_sched_*). Families are registered once at package init; each policy
+// instance caches its label-resolved handles at construction so Push/Next
+// pay only atomic adds.
+var (
+	telScheduled = telemetry.Default().CounterVec(
+		"rasc_sched_scheduled_total",
+		"Data units handed to execution by the node scheduler.",
+		"policy")
+	telDropped = telemetry.Default().CounterVec(
+		"rasc_sched_dropped_total",
+		"Data units dropped at scheduling time because their laxity went negative.",
+		"policy")
+	telRejected = telemetry.Default().CounterVec(
+		"rasc_sched_rejected_total",
+		"Data units rejected at enqueue because the ready queue was full.",
+		"policy")
+	telQueueDepth = telemetry.Default().GaugeVec(
+		"rasc_sched_queue_depth",
+		"Data units currently queued, summed over live queues of the policy.",
+		"policy")
+	telLaxity = telemetry.Default().HistogramVec(
+		"rasc_sched_laxity_seconds",
+		"Laxity of units at scheduling decisions (negative buckets are drops).",
+		laxityBuckets, "policy")
+)
+
+// laxityBuckets span the negative (missed) through positive (slack) laxity
+// range seen at scheduling decisions.
+var laxityBuckets = []float64{-1, -0.1, -0.01, -0.001, 0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// policyMetrics is the per-policy handle set.
+type policyMetrics struct {
+	scheduled *telemetry.Counter
+	dropped   *telemetry.Counter
+	rejected  *telemetry.Counter
+	depth     *telemetry.Gauge
+	laxity    *telemetry.Histogram
+}
+
+func newPolicyMetrics(policy string) policyMetrics {
+	return policyMetrics{
+		scheduled: telScheduled.With(policy),
+		dropped:   telDropped.With(policy),
+		rejected:  telRejected.With(policy),
+		depth:     telQueueDepth.With(policy),
+		laxity:    telLaxity.With(policy),
+	}
+}
+
+// onPush records a successful enqueue.
+func (m *policyMetrics) onPush() { m.depth.Add(1) }
+
+// onReject records an enqueue refused for capacity.
+func (m *policyMetrics) onReject() { m.rejected.Inc() }
+
+// onDrop records a unit dropped for negative laxity at time now.
+func (m *policyMetrics) onDrop(u *Unit, now time.Duration) {
+	m.dropped.Inc()
+	m.depth.Add(-1)
+	m.laxity.Observe(u.Laxity(now).Seconds())
+}
+
+// onRun records a unit picked to execute at time now.
+func (m *policyMetrics) onRun(u *Unit, now time.Duration) {
+	m.scheduled.Inc()
+	m.depth.Add(-1)
+	m.laxity.Observe(u.Laxity(now).Seconds())
+}

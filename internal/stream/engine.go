@@ -151,6 +151,16 @@ func (e *Engine) Config() Config { return e.cfg }
 // Components returns the number of live component instances.
 func (e *Engine) Components() int { return len(e.comps) }
 
+// ActiveRequests returns the number of requests originated at this engine
+// that are still running.
+func (e *Engine) ActiveRequests() int { return len(e.origins) }
+
+// ExportTelemetry refreshes the process-wide telemetry registry's monitor
+// gauges from the engine's current window state (scrape handlers call this
+// just before exposition). It must run on the engine's loop, like every
+// other engine method.
+func (e *Engine) ExportTelemetry() { e.Monitor.Report(e.clk.Now()) }
+
 // SetTracer attaches an event buffer recording this engine's per-unit
 // events (emit/arrive/process/forward/drop/deliver). Pass nil to detach.
 func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
@@ -266,6 +276,7 @@ func (e *Engine) onDataDropped(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 		return
 	}
 	e.DropsDownlink++
+	telDropDownlink.Inc()
 	e.traceEvent(trace.KindDrop, m, m.Stage, "downlink")
 	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
 		e.Monitor.ObserveDrop("sink:"+sinkKey(m.Req, m.Substream), "sink")
@@ -287,6 +298,8 @@ func (e *Engine) onData(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 	now := e.clk.Now()
 	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
 		e.Monitor.ObserveArrival("sink:"+sinkKey(m.Req, m.Substream), "sink", now, m.Size)
+		telDelivered.Inc()
+		telDeliveryDelay.ObserveDuration(now - m.Created)
 		e.traceEvent(trace.KindDeliver, m, m.Stage, "")
 		s.observe(m, now)
 		return
@@ -312,6 +325,7 @@ func (e *Engine) onData(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 	}
 	if !e.queue.Push(u) {
 		e.DropsQueueFull++
+		telDropQueueFull.Inc()
 		e.traceEvent(trace.KindDrop, m, m.Stage, "queue-full")
 		e.Monitor.ObserveDrop(key, c.msg.Service) // queue overflow
 		return
@@ -335,6 +349,7 @@ func (e *Engine) kick() {
 	for _, d := range dropped {
 		task := d.Payload.(unitTask)
 		e.DropsLaxity++
+		telDropLaxity.Inc()
 		e.traceEvent(trace.KindDrop, task.msg, task.msg.Stage, "laxity")
 		e.Monitor.ObserveDrop(d.ComponentKey, task.comp.msg.Service)
 	}
@@ -353,6 +368,7 @@ func (e *Engine) kick() {
 	e.busy = true
 	e.clk.After(proc, func() {
 		e.busy = false
+		telProcessed.Inc()
 		e.Monitor.ObserveProcessed(u.ComponentKey, task.comp.msg.Service, proc)
 		e.Monitor.ObserveBusy(e.clk.Now(), proc)
 		e.traceEvent(trace.KindProcess, task.msg, task.msg.Stage, task.comp.msg.Service)
@@ -394,9 +410,11 @@ func (e *Engine) forward(c *component, in dataMsg) {
 			// drop feeds the component's ratio — the congestion
 			// feedback RASC's composition relies on.
 			e.DropsUplink++
+			telDropUplink.Inc()
 			e.traceEvent(trace.KindDrop, dm, in.Stage, "uplink")
 			e.Monitor.ObserveDrop(c.key, c.msg.Service)
 		} else {
+			telForwarded.Inc()
 			e.traceEvent(trace.KindForward, dm, in.Stage, "")
 		}
 	}

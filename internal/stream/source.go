@@ -75,6 +75,7 @@ func (e *Engine) startSource(req string, substream int, ss spec.Substream, unitB
 			s.seq++
 			s.Emitted++
 			s.EmittedBytes += int64(size)
+			telEmitted.Inc()
 			e.traceEvent(traceEmitKind, m, -1, "")
 			if err := e.sendUnit(out.To, m); err != nil {
 				// The origin's own uplink is congested: record the

@@ -1,0 +1,37 @@
+package stream
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the stream engine (metric catalogue rasc_stream_*).
+// Counters aggregate over every engine in the process: one engine in a live
+// node, all simulated nodes in an experiment.
+var (
+	telEmitted = telemetry.Default().Counter(
+		"rasc_stream_emitted_total",
+		"Data units emitted by local sources.")
+	telProcessed = telemetry.Default().Counter(
+		"rasc_stream_processed_total",
+		"Data units whose service execution completed on this node.")
+	telForwarded = telemetry.Default().Counter(
+		"rasc_stream_forwarded_total",
+		"Data units sent downstream after processing.")
+	telDelivered = telemetry.Default().Counter(
+		"rasc_stream_delivered_total",
+		"Data units delivered to local sinks.")
+	telStreamDropped = telemetry.Default().CounterVec(
+		"rasc_stream_dropped_total",
+		"Data units dropped by the stream runtime, by cause.",
+		"cause")
+	telDeliveryDelay = telemetry.Default().Histogram(
+		"rasc_stream_delivery_delay_seconds",
+		"End-to-end delay of units delivered to local sinks.",
+		telemetry.DefBuckets)
+
+	// Pre-resolved per-cause drop counters: the hot paths touch these, so
+	// the label lookup happens once here. Registering them eagerly also
+	// makes every cause visible at 0 on /metrics.
+	telDropQueueFull = telStreamDropped.With("queue-full")
+	telDropLaxity    = telStreamDropped.With("laxity")
+	telDropUplink    = telStreamDropped.With("uplink")
+	telDropDownlink  = telStreamDropped.With("downlink")
+)

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// format, families sorted by name, series in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.write(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the registry as Prometheus text (for snapshots and logs).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry at its mount point
+// (conventionally /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// write renders one family: HELP, TYPE, then every series.
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.order))
+	for _, key := range f.order {
+		children = append(children, f.children[key])
+	}
+	f.mu.Unlock()
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range children {
+		switch f.kind {
+		case kindCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labelNames, c.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(c.counter.Value(), 10))
+			b.WriteByte('\n')
+		case kindGauge:
+			v := 0.0
+			if c.gaugeFn != nil {
+				v = c.gaugeFn()
+			} else {
+				v = c.gauge.Value()
+			}
+			b.WriteString(f.name)
+			writeLabels(b, f.labelNames, c.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(v))
+			b.WriteByte('\n')
+		case kindHistogram:
+			cum, total, sum := c.histogram.snapshot()
+			for i, bound := range c.histogram.bounds {
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labelNames, c.labelValues, formatFloat(bound))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(cum[i], 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labelNames, c.labelValues, "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(total, 10))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labelNames, c.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(sum))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labelNames, c.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(total, 10))
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound label.
+func writeLabels(b *strings.Builder, names, values []string, le string) {
+	if len(names) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

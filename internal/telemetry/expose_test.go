@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one of everything, exercising
+// label escaping, unlabelled series, gauge funcs and histogram buckets.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	c := r.Counter("rasc_demo_ops_total", "Operations performed.")
+	c.Add(42)
+
+	vec := r.CounterVec("rasc_demo_dropped_total", "Dropped units by cause.", "cause")
+	vec.With("laxity").Add(3)
+	vec.With("queue-full").Add(1)
+	vec.With(`we"ird\cause` + "\n").Inc()
+
+	g := r.Gauge("rasc_demo_queue_depth", "Units queued right now.")
+	g.Set(7)
+
+	r.GaugeFunc("rasc_demo_uptime_seconds", "Computed at scrape time.", func() float64 { return 12.5 })
+
+	h := r.Histogram("rasc_demo_latency_seconds", "Delivery latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+
+	hv := r.HistogramVec("rasc_demo_laxity_seconds", "Laxity by policy.", []float64{0, 0.05}, "policy")
+	hv.With("llf").Observe(-0.01)
+	hv.With("llf").Observe(0.02)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	got := goldenRegistry().String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionInvariants checks format properties independent of the
+// golden file: escaping, monotone counters and cumulative buckets.
+func TestExpositionInvariants(t *testing.T) {
+	out := goldenRegistry().String()
+	if !strings.Contains(out, `cause="we\"ird\\cause\n"`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE rasc_demo_ops_total counter") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	// Histogram buckets must be cumulative and end at +Inf == _count.
+	checks := []struct{ line, reason string }{
+		{`rasc_demo_latency_seconds_bucket{le="0.01"} 1`, "first bucket"},
+		{`rasc_demo_latency_seconds_bucket{le="0.1"} 3`, "second bucket cumulative"},
+		{`rasc_demo_latency_seconds_bucket{le="1"} 4`, "third bucket cumulative"},
+		{`rasc_demo_latency_seconds_bucket{le="+Inf"} 5`, "+Inf bucket equals count"},
+		{`rasc_demo_latency_seconds_count 5`, "count line"},
+	}
+	for _, c := range checks {
+		if !strings.Contains(out, c.line) {
+			t.Errorf("missing %s (%q):\n%s", c.reason, c.line, out)
+		}
+	}
+	// Families must be sorted by name.
+	idxDropped := strings.Index(out, "# TYPE rasc_demo_dropped_total")
+	idxOps := strings.Index(out, "# TYPE rasc_demo_ops_total")
+	idxUptime := strings.Index(out, "# TYPE rasc_demo_uptime_seconds")
+	if !(idxDropped < idxOps && idxOps < idxUptime) {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if !strings.Contains(out, "rasc_demo_uptime_seconds 12.5") {
+		t.Errorf("gauge func not evaluated:\n%s", out)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := goldenRegistry()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("empty body")
+	}
+}

@@ -1,0 +1,386 @@
+// Package telemetry is the node's runtime metrics registry: dependency-free
+// always-on counters, gauges and fixed-bucket histograms built on
+// sync/atomic, grouped into labelled families and exported in the
+// Prometheus text exposition format (expose.go).
+//
+// It is distinct from internal/metrics, which aggregates offline experiment
+// results; telemetry instruments live hot paths, so every write is a single
+// atomic operation with no locks and no allocations. Instrumentation sites
+// resolve their metric handles once (at package init or construction) and
+// hold on to them; With/WithLabelValues takes a lock and must stay off hot
+// paths.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use. All methods are safe for concurrent use; Add and Inc are a
+// single atomic add.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down. The zero value reads
+// 0. All methods are safe for concurrent use and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram safe for concurrent writers.
+// Observations count into the first bucket whose upper bound is >= the
+// value; values above every bound count into the implicit +Inf bucket.
+// Create one through a Registry so the bounds are validated and the
+// histogram is exported.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			panic(fmt.Sprintf("telemetry: duplicate histogram bound %g", bs[i]))
+		}
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Branchless-ish linear scan: bucket counts are small (tens), and a
+	// linear scan beats binary search at these sizes while staying
+	// allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts (aligned with bounds, then
+// +Inf), the total count and the sum. Buckets are read without a global
+// lock, so concurrent writers may skew the snapshot by in-flight
+// observations — the tolerance Prometheus scrapes accept.
+func (h *Histogram) snapshot() (cum []uint64, total uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, run, h.Sum()
+}
+
+// DefBuckets are general-purpose latency buckets in seconds.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns n bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds starting at start, each factor times the
+// previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 {
+		panic("telemetry: ExpBuckets needs start > 0 and factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// kind discriminates metric families.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labelled series of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	gaugeFn     func() float64
+	histogram   *Histogram
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name       string
+	help       string
+	kind       kind
+	labelNames []string
+	bounds     []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // insertion order of children keys
+}
+
+func (f *family) child(labelValues []string) *child {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := labelKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	vals := make([]string, len(labelValues))
+	copy(vals, labelValues)
+	c := &child{labelValues: vals}
+	switch f.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
+	case kindHistogram:
+		c.histogram = newHistogram(f.bounds)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+func labelKey(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	key := vals[0]
+	for _, v := range vals[1:] {
+		key += "\x00" + v
+	}
+	return key
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for the label values.
+// It takes a lock: call once and cache the handle, not per operation.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.child(labelValues).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns (creating on first use) the gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.child(labelValues).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues).histogram
+}
+
+// Registry holds metric families and renders them for exposition.
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]*family
+	families []*family // sorted insertion handled at exposition
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// std is the process-wide default registry instrumented packages hang
+// their metrics off.
+var std = NewRegistry()
+
+// Default returns the process-wide registry served by the admin endpoint.
+func Default() *Registry { return std }
+
+// family registers (or returns the existing) family. Re-registering with a
+// different kind or label schema panics: two packages disagreeing about a
+// metric name is a programming error worth failing loudly on.
+func (r *Registry) family(name, help string, k kind, labelNames []string, bounds []float64) *family {
+	if !validName(name) {
+		panic("telemetry: invalid metric name " + name)
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic("telemetry: invalid label name " + l + " on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || len(f.labelNames) != len(labelNames) {
+			panic("telemetry: conflicting registration of " + name)
+		}
+		for i := range labelNames {
+			if f.labelNames[i] != labelNames[i] {
+				panic("telemetry: conflicting labels on " + name)
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       k,
+		labelNames: append([]string(nil), labelNames...),
+		bounds:     append([]float64(nil), bounds...),
+		children:   make(map[string]*child),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).child(nil).counter
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).child(nil).gauge
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labelNames, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time. fn must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGauge, nil, nil)
+	c := f.child(nil)
+	f.mu.Lock()
+	c.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the given
+// upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.family(name, help, kindHistogram, nil, bounds).child(nil).histogram
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labelNames, bounds)}
+}

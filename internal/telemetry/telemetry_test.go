@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge reads %g", g.Value())
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	cum, total, sum := h.snapshot()
+	// Buckets: <=1 gets {0.5, 1}; <=2 adds {1.5, 2}; <=5 adds {3}; +Inf adds {10}.
+	want := []uint64{2, 4, 5, 6}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	if math.Abs(sum-18) > 1e-9 {
+		t.Fatalf("sum = %g, want 18", sum)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Sum = %g, want 0.25", got)
+	}
+}
+
+func TestVecCaching(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "k")
+	a := v.With("x")
+	b := v.With("x")
+	if a != b {
+		t.Fatal("With returned distinct counters for the same labels")
+	}
+	if v.With("y") == a {
+		t.Fatal("distinct labels share a counter")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "help")
+	b := r.Counter("ops_total", "help")
+	if a != b {
+		t.Fatal("re-registering a counter returned a new instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration did not panic")
+		}
+	}()
+	r.Gauge("ops_total", "help")
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"rasc_sched_scheduled_total": true,
+		"a:b":                        true,
+		"":                           false,
+		"9lives":                     false,
+		"has space":                  false,
+		"has-dash":                   false,
+	} {
+		if got := validName(name); got != want {
+			t.Errorf("validName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestConcurrentWriters exercises every metric type from many goroutines;
+// run under -race this is the registry's safety regression test.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1})
+	vec := r.CounterVec("v_total", "", "worker")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := vec.With("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) * 0.4)
+				wc.Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.String()
+		}()
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if c.Value() != want {
+		t.Fatalf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != want {
+		t.Fatalf("gauge = %g, want %d", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if vec.With("shared").Value() != want {
+		t.Fatalf("vec counter = %d, want %d", vec.With("shared").Value(), want)
+	}
+}
+
+// TestCounterAddAllocates pins the acceptance criterion: the counter hot
+// path performs no allocations.
+func TestCounterAddAllocates(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v times per op", n)
+	}
+	h := newHistogram(DefBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v times per op", n)
+	}
+}
+
+// BenchmarkCounterAdd shows the instrumentation cost on scheduling paths:
+// a single uncontended atomic add.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 0.5, 3)
+	if len(lin) != 3 || lin[0] != 0 || lin[2] != 1 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[3] != 8 {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+}

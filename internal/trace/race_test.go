@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAppend is the -race regression test for Buffer: live nodes
+// append from transport reader goroutines while admin handlers read.
+func TestConcurrentAppend(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	b := NewBuffer(256)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b.Append(Event{
+					At:   time.Duration(i) * time.Millisecond,
+					Kind: KindArrive,
+					Req:  "req",
+					Seq:  int64(w*perWorker + i),
+				})
+			}
+		}(w)
+	}
+	// Concurrent readers must not race with appenders.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = b.Events()
+				_ = b.Len()
+				_ = b.DropsByCause()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Total(); got != workers*perWorker {
+		t.Fatalf("Total = %d, want %d (lost appends)", got, workers*perWorker)
+	}
+	if got := b.Len(); got != 256 {
+		t.Fatalf("Len = %d, want capacity 256", got)
+	}
+}

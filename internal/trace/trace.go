@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -59,9 +60,11 @@ type Event struct {
 }
 
 // Buffer is a bounded ring of events. A zero Buffer is unusable; create
-// one with NewBuffer. Buffer is not synchronized: in simulations all
-// events arrive from the single event-loop goroutine.
+// one with NewBuffer. Buffer is safe for concurrent appenders and readers:
+// simulations append from the single event-loop goroutine, but live nodes
+// and tests may append from many goroutines at once.
 type Buffer struct {
+	mu     sync.Mutex
 	events []Event
 	head   int
 	n      int
@@ -78,6 +81,8 @@ func NewBuffer(capacity int) *Buffer {
 
 // Append records an event, evicting the oldest when full.
 func (b *Buffer) Append(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.events[b.head] = e
 	b.head = (b.head + 1) % len(b.events)
 	if b.n < len(b.events) {
@@ -87,13 +92,23 @@ func (b *Buffer) Append(e Event) {
 }
 
 // Len returns the number of retained events.
-func (b *Buffer) Len() int { return b.n }
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
 
 // Total returns the number of events ever appended.
-func (b *Buffer) Total() int64 { return b.total }
+func (b *Buffer) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
 
 // Events returns the retained events oldest-first.
 func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]Event, 0, b.n)
 	start := (b.head - b.n + len(b.events)) % len(b.events)
 	for i := 0; i < b.n; i++ {

@@ -94,10 +94,15 @@ func (h *HybridEndpoint) Send(to Addr, msg Message) error {
 	}
 	dst, err := net.ResolveUDPAddr("udp", string(to))
 	if err != nil {
+		telUDPConnErr.Inc()
 		return fmt.Errorf("%w: %s: %v", ErrUnknownAddr, to, err)
 	}
-	_, err = h.udp.WriteToUDP(body, dst)
-	return err
+	if _, err = h.udp.WriteToUDP(body, dst); err != nil {
+		return err
+	}
+	telUDPOut.Inc()
+	telUDPOutBytes.Add(uint64(len(body)))
+	return nil
 }
 
 // Close shuts both sockets down.
@@ -127,6 +132,8 @@ func (h *HybridEndpoint) readUDP() {
 		if json.Unmarshal(buf[:n], &frame) != nil {
 			continue
 		}
+		telUDPIn.Inc()
+		telUDPInBytes.Add(uint64(n))
 		h.mu.Lock()
 		fn := h.handler
 		closed := h.closed

@@ -33,6 +33,8 @@ func (m *MemNetwork) Endpoint(id netsim.NodeID) Endpoint {
 		if !ok || ep.closed || ep.handler == nil {
 			return
 		}
+		telMemIn.Inc()
+		telMemInBytes.Add(uint64(size))
 		ep.handler(env.from, env.msg)
 	})
 	m.nw.SetDropHandler(id, func(from netsim.NodeID, size int, payload interface{}) {
@@ -69,6 +71,7 @@ func (e *memEndpoint) Send(to Addr, msg Message) error {
 	}
 	dst, ok := e.net.byAddr[to]
 	if !ok {
+		telMemSendFails.Inc()
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
 	env := memEnvelope{from: e.addr, msg: msg}
@@ -76,9 +79,13 @@ func (e *memEndpoint) Send(to Addr, msg Message) error {
 		if !e.net.nw.SendDroppable(e.node, dst.node, msg.WireSize(), env) {
 			return ErrBacklog
 		}
+		telMemOut.Inc()
+		telMemOutBytes.Add(uint64(msg.WireSize()))
 		return nil
 	}
 	e.net.nw.Send(e.node, dst.node, msg.WireSize(), env)
+	telMemOut.Inc()
+	telMemOutBytes.Add(uint64(msg.WireSize()))
 	return nil
 }
 

@@ -88,6 +88,7 @@ func (e *TCPEndpoint) Send(to Addr, msg Message) error {
 	if !ok {
 		c, err := net.Dial("tcp", string(to))
 		if err != nil {
+			telTCPConnErr.Inc()
 			return fmt.Errorf("%w: %s: %v", ErrUnknownAddr, to, err)
 		}
 		e.mu.Lock()
@@ -124,6 +125,8 @@ func (e *TCPEndpoint) Send(to Addr, msg Message) error {
 		e.dropConnLocked(to, conn)
 		return err
 	}
+	telTCPOut.Inc()
+	telTCPOutBytes.Add(uint64(len(prefix) + len(body)))
 	return nil
 }
 
@@ -201,6 +204,8 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if err := json.Unmarshal(body, &frame); err != nil {
 			continue
 		}
+		telTCPIn.Inc()
+		telTCPInBytes.Add(uint64(len(prefix) + len(body)))
 		e.mu.Lock()
 		h := e.handler
 		closed := e.closed

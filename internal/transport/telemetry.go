@@ -1,0 +1,37 @@
+package transport
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the transports (metric catalogue rasc_transport_*).
+// The transport label distinguishes the TCP socket path, the UDP datagram
+// path of the hybrid endpoint, and the in-process simulator transport.
+var (
+	telMessages = telemetry.Default().CounterVec(
+		"rasc_transport_messages_total",
+		"Messages moved through a transport endpoint, by direction.",
+		"transport", "direction")
+	telBytes = telemetry.Default().CounterVec(
+		"rasc_transport_bytes_total",
+		"Wire bytes moved through a transport endpoint, by direction.",
+		"transport", "direction")
+	telConnectErrors = telemetry.Default().CounterVec(
+		"rasc_transport_connect_errors_total",
+		"Failed dials or unresolvable destinations.",
+		"transport")
+
+	telTCPIn        = telMessages.With("tcp", "in")
+	telTCPOut       = telMessages.With("tcp", "out")
+	telTCPInBytes   = telBytes.With("tcp", "in")
+	telTCPOutBytes  = telBytes.With("tcp", "out")
+	telTCPConnErr   = telConnectErrors.With("tcp")
+	telUDPIn        = telMessages.With("udp", "in")
+	telUDPOut       = telMessages.With("udp", "out")
+	telUDPInBytes   = telBytes.With("udp", "in")
+	telUDPOutBytes  = telBytes.With("udp", "out")
+	telUDPConnErr   = telConnectErrors.With("udp")
+	telMemIn        = telMessages.With("mem", "in")
+	telMemOut       = telMessages.With("mem", "out")
+	telMemInBytes   = telBytes.With("mem", "in")
+	telMemOutBytes  = telBytes.With("mem", "out")
+	telMemSendFails = telConnectErrors.With("mem")
+)

@@ -32,6 +32,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/telemetry"
 	"rasc.dev/rasc/internal/trace"
 )
 
@@ -278,6 +279,17 @@ func (s *System) EnableTracing(capacity int) *TraceBuffer {
 		e.SetTracer(buf)
 	}
 	return buf
+}
+
+// TelemetrySnapshot refreshes every engine's monitor gauges and renders
+// the process-wide runtime telemetry registry in the Prometheus text
+// format — the same catalogue a live node serves on /metrics, dumped once
+// at the end of a simulation.
+func (s *System) TelemetrySnapshot() string {
+	for _, e := range s.d.Engines {
+		e.ExportTelemetry()
+	}
+	return telemetry.Default().String()
 }
 
 // Report is a node's monitoring snapshot.
