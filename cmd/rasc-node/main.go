@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/live"
 	"rasc.dev/rasc/internal/spec"
 )
@@ -37,6 +38,11 @@ func main() {
 		unit      = flag.Int("unit", 1250, "data unit size in bytes")
 		udp       = flag.Bool("udp", false, "send stream data over UDP (control stays on TCP)")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		refresh   = flag.Duration("refresh-interval", 2*time.Second, "how often service registrations are re-published to the DHT")
+		ttl       = flag.Duration("record-ttl", 10*time.Second, "DHT registration lifetime without a refresh (must exceed -refresh-interval)")
+		noGossip  = flag.Bool("no-gossip", false, "disable the gossip membership protocol (DHT-only lookups, fetch-time stats)")
+		probeIvl  = flag.Duration("gossip-probe-interval", 0, "gossip failure-detector probe period (0: default 1s)")
+		suspicion = flag.Duration("gossip-suspicion-timeout", 0, "how long a suspect member may refute before it is declared dead (0: default 3s)")
 	)
 	flag.Parse()
 
@@ -45,11 +51,18 @@ func main() {
 		services = strings.Split(*svcList, ",")
 	}
 	node, err := live.Start(live.Config{
-		Listen:    *listen,
-		Name:      *name,
-		Bootstrap: *bootstrap,
-		Services:  services,
-		UDPData:   *udp,
+		Listen:          *listen,
+		Name:            *name,
+		Bootstrap:       *bootstrap,
+		Services:        services,
+		UDPData:         *udp,
+		RefreshInterval: *refresh,
+		RecordTTL:       *ttl,
+		DisableGossip:   *noGossip,
+		Gossip: gossip.Config{
+			ProbeInterval:    *probeIvl,
+			SuspicionTimeout: *suspicion,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "start: %v\n", err)

@@ -73,10 +73,11 @@ func main() {
 		telOut   = flag.String("telemetry", "", "dump a final runtime telemetry snapshot (Prometheus text format) to this file, or \"-\" for stdout")
 		workFile = flag.String("workload", "", "replay a JSON workload file instead of a single request")
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
+		gossipOn = flag.Bool("gossip", false, "run the gossip membership protocol: view-backed lookups, gossip-fresh stats, failure-triggered recomposition")
 	)
 	flag.Parse()
 
-	sys := rasc.NewSimulated(rasc.Options{Nodes: *nodes, Seed: *seed})
+	sys := rasc.NewSimulated(rasc.Options{Nodes: *nodes, Seed: *seed, EnableGossip: *gossipOn})
 	var buf *rasc.TraceBuffer
 	if *traceOn {
 		buf = sys.EnableTracing(1_000_000)

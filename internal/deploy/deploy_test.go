@@ -4,8 +4,12 @@ import (
 	"testing"
 	"time"
 
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
 )
 
 func TestNewSystemPlacement(t *testing.T) {
@@ -91,4 +95,94 @@ func TestNewSystemDeterministicPlacement(t *testing.T) {
 			}
 		}
 	}
+}
+
+// failoverRecompositionDelay composes a single-service request whose
+// component lands on a remote node, enables origin-side adaptation with a
+// long check interval, kills the hosting node, and returns how much
+// virtual time passes before the origin re-composes.
+func failoverRecompositionDelay(t *testing.T, withGossip bool) time.Duration {
+	t.Helper()
+	s := NewSystem(SystemOptions{
+		Nodes:        16,
+		Seed:         7,
+		EnableGossip: withGossip,
+		// Above the topology's worst inter-site RTT so healthy members
+		// are never falsely suspected.
+		Gossip: gossip.Config{ProbeTimeout: 500 * time.Millisecond},
+	})
+	const origin = 0
+	offered := map[string]bool{}
+	for _, svc := range s.Placement[origin] {
+		offered[svc] = true
+	}
+	var svc string
+	for _, name := range services.Standard().Names() {
+		if !offered[name] {
+			svc = name
+			break
+		}
+	}
+	if svc == "" {
+		t.Fatal("origin offers every service; cannot force a remote placement")
+	}
+	req := spec.Request{
+		ID:         "failover",
+		UnitBytes:  1250,
+		Substreams: []spec.Substream{{Services: []string{svc}, Rate: 5}},
+	}
+	var graph *core.ExecutionGraph
+	done := false
+	s.Engines[origin].Submit(req, &core.MinCost{}, 10*time.Second, func(g *core.ExecutionGraph, err error) {
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		graph, done = g, true
+	})
+	deadline := s.Sim.Now() + 60*time.Second
+	for !done && s.Sim.Now() < deadline {
+		s.Sim.RunUntil(s.Sim.Now() + 100*time.Millisecond)
+	}
+	if !done {
+		t.Fatal("composition did not complete")
+	}
+	s.Engines[origin].EnableAdaptation(stream.AdaptationConfig{Interval: 15 * time.Second})
+	victim := -1
+	for _, p := range graph.Placements {
+		for i, n := range s.Nodes {
+			if i != origin && n.ID() == p.Host.ID {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no remote placement to kill")
+	}
+	// Stream briefly so pre-failure delivery statistics exist.
+	s.Sim.RunUntil(s.Sim.Now() + 2*time.Second)
+	s.Kill(victim)
+	killedAt := s.Sim.Now()
+	stop := killedAt + 120*time.Second
+	for s.Engines[origin].Recompositions() == 0 && s.Sim.Now() < stop {
+		s.Sim.RunUntil(s.Sim.Now() + 250*time.Millisecond)
+	}
+	if s.Engines[origin].Recompositions() == 0 {
+		t.Fatal("origin never re-composed after the host was killed")
+	}
+	return s.Sim.Now() - killedAt
+}
+
+// TestGossipFailoverBeatsDegradationDetection is the acceptance check for
+// the membership subsystem: a node failure detected by the gossip failure
+// detector must trigger recomposition of the affected application
+// strictly earlier (in virtual time) than the periodic delivery-rate
+// degradation check alone.
+func TestGossipFailoverBeatsDegradationDetection(t *testing.T) {
+	gossipDelay := failoverRecompositionDelay(t, true)
+	degradationDelay := failoverRecompositionDelay(t, false)
+	if gossipDelay >= degradationDelay {
+		t.Fatalf("gossip recomposed after %v, degradation detection after %v; want gossip strictly earlier",
+			gossipDelay, degradationDelay)
+	}
+	t.Logf("recomposition delay after kill: gossip=%v degradation-only=%v", gossipDelay, degradationDelay)
 }

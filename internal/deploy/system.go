@@ -10,7 +10,9 @@ import (
 
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/simnet"
 	"rasc.dev/rasc/internal/stream"
@@ -61,6 +63,19 @@ type SystemOptions struct {
 	BackgroundFlows int
 	// BackgroundBps is the per-flow rate (default 50 Kbps).
 	BackgroundBps float64
+
+	// EnableGossip runs a gossip membership instance on every node: the
+	// directory answers lookups from the converged view (DHT fallback),
+	// composition reads gossip-fresh stats, and member-dead events prune
+	// routing state and trigger immediate recomposition at the origins.
+	// Gossip loops reschedule forever, so gossip-enabled deployments must
+	// advance time with RunUntil.
+	EnableGossip bool
+	// Gossip tunes the protocol when EnableGossip is set. Note the
+	// defaults (300ms probe timeout) are tight against the simulated
+	// PlanetLab inter-site RTTs (up to ~330ms); deployments wanting no
+	// false suspicions should raise ProbeTimeout to ≥500ms.
+	Gossip gossip.Config
 }
 
 // System is a running simulated deployment: a joined overlay with DHT,
@@ -71,6 +86,9 @@ type System struct {
 	Stores  []*dht.Store
 	Dirs    []*discovery.Directory
 	Engines []*stream.Engine
+	// Gossip holds each node's membership instance (nil entries when
+	// EnableGossip is off).
+	Gossip []*gossip.Gossip
 	// Placement records which services each node announced.
 	Placement [][]string
 }
@@ -140,6 +158,39 @@ func NewSystem(opts SystemOptions) *System {
 		}
 	}
 	c.Sim.Run()
+	// Start gossip only after the control plane has quiesced: its loops
+	// reschedule forever and would keep Run from returning. Membership is
+	// seeded with the full roster, mirroring the already-converged overlay;
+	// digests still have to disseminate through the protocol.
+	if opts.EnableGossip {
+		s.Gossip = make([]*gossip.Gossip, len(c.Nodes))
+		var roster []overlay.NodeInfo
+		for _, node := range c.Nodes {
+			roster = append(roster, node.Info())
+		}
+		for i, node := range c.Nodes {
+			gRng := rand.New(rand.NewSource(opts.Seed*9_999_991 + int64(i)))
+			g := gossip.New(node, c.Clock, gRng, opts.Gossip)
+			dir, eng, n := s.Dirs[i], s.Engines[i], node
+			g.SetDigestFunc(func() gossip.Digest {
+				return gossip.Digest{
+					Report:   eng.Monitor.Report(c.Clock.Now()),
+					Services: dir.LocalServices(),
+				}
+			})
+			g.OnMemberDead(func(info overlay.NodeInfo) {
+				n.RemovePeer(info.ID)
+				eng.OnPeerDead(info.ID)
+			})
+			dir.SetView(g)
+			eng.SetStatsProvider(g.ReportFor)
+			g.Seed(roster)
+			s.Gossip[i] = g
+		}
+		for _, g := range s.Gossip {
+			g.Start()
+		}
+	}
 	// Start background cross-traffic only after the control plane has
 	// quiesced (the flows reschedule forever).
 	if opts.BackgroundFlows > 0 {
@@ -160,7 +211,12 @@ func NewSystem(opts SystemOptions) *System {
 }
 
 // Kill fails node i: its transport endpoint closes, so it neither receives
-// nor sends anything from now on (fail-stop). Peers observe timeouts.
+// nor sends anything from now on (fail-stop). Peers observe timeouts; with
+// gossip enabled they detect the death through probing. The dead node's
+// own protocol loops are stopped so the event queue stays lean.
 func (s *System) Kill(i int) {
 	_ = s.Endpoints[i].Close()
+	if s.Gossip != nil && s.Gossip[i] != nil {
+		s.Gossip[i].Stop()
+	}
 }

@@ -24,12 +24,20 @@ type HostRecord struct {
 	Service string           `json:"service"`
 }
 
+// View is a locally converged provider index — in practice the gossip
+// membership view — consulted by Lookup before falling back to the DHT.
+// Implementations return alive hosts announcing the service, sorted by ID.
+type View interface {
+	HostsFor(service string) []overlay.NodeInfo
+}
+
 // Directory is one node's view of the service registry.
 type Directory struct {
 	node    *overlay.Node
 	store   *dht.Store
 	clk     clock.Clock
 	local   map[string]bool
+	view    View
 	refresh func() // cancels the running refresh loop
 }
 
@@ -93,9 +101,23 @@ func (d *Directory) record(service string) []byte {
 	return b
 }
 
+// SetView installs a converged local view as the primary lookup source.
+// The DHT remains the bootstrap and fallback path: it answers whenever the
+// view is absent or has no providers for the service yet (e.g. before
+// digests have disseminated). Pass nil to restore pure-DHT lookups.
+func (d *Directory) SetView(v View) { d.view = v }
+
 // Lookup resolves the provider set for service. The callback runs exactly
-// once with the hosts sorted by ID for determinism.
+// once with the hosts sorted by ID for determinism. With a view installed
+// (SetView) the answer comes synchronously from the local converged state
+// — no DHT round trips — whenever the view knows at least one provider.
 func (d *Directory) Lookup(service string, timeout time.Duration, cb func([]overlay.NodeInfo, error)) {
+	if d.view != nil {
+		if hosts := d.view.HostsFor(service); len(hosts) > 0 {
+			cb(hosts, nil)
+			return
+		}
+	}
 	d.store.Get(ServiceKey(service), timeout, func(values [][]byte, err error) {
 		if err != nil {
 			cb(nil, err)

@@ -13,6 +13,7 @@ import (
 
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/deploy"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/metrics"
 	"rasc.dev/rasc/internal/netsim"
 	"rasc.dev/rasc/internal/services"
@@ -45,6 +46,13 @@ type Config struct {
 	MaxServices      int
 	MaxSubstreams    int
 	TimelyFactor     float64
+	// StatsSource selects where composition statistics come from:
+	// "fetch" (default: per-host RPC snapshots at composition time),
+	// "gossip" (monitoring digests disseminated by the membership
+	// protocol, with RPC fallback until the view fills), or "stale"
+	// (fetch against reports cached for StatsMaxAge — the
+	// stale-statistics ablation; StatsMaxAge defaults to 30s).
+	StatsSource string
 	// StatsMaxAge makes nodes serve cached monitoring reports no
 	// fresher than this (0 = always fresh): the stale-statistics
 	// ablation.
@@ -237,6 +245,18 @@ func RunOne(cfg Config, composerName string, rate int, seed int64) (RunStats, er
 	if err != nil {
 		return RunStats{}, err
 	}
+	enableGossip := false
+	switch cfg.StatsSource {
+	case "", "fetch":
+	case "gossip":
+		enableGossip = true
+	case "stale":
+		if cfg.StatsMaxAge == 0 {
+			cfg.StatsMaxAge = 30 * time.Second
+		}
+	default:
+		return RunStats{}, fmt.Errorf("experiment: unknown StatsSource %q (want fetch, gossip or stale)", cfg.StatsSource)
+	}
 	catalog := services.Standard()
 	topo := netsim.PlanetLabTopology(netsim.TopologyConfig{
 		Nodes:  cfg.Nodes,
@@ -258,7 +278,17 @@ func RunOne(cfg Config, composerName string, rate int, seed int64) (RunStats, er
 		KeepDelaySamples: true,
 		HeterogeneousCPU: true,
 		BackgroundFlows:  cfg.BackgroundFlows,
+		EnableGossip:     enableGossip,
+		// 500ms keeps probes from timing out over the topology's worst
+		// inter-site RTT (~330ms) and falsely suspecting healthy nodes.
+		Gossip: gossip.Config{ProbeTimeout: 500 * time.Millisecond},
 	})
+	if enableGossip {
+		// Let the membership protocol disseminate the initial digests
+		// (a few probe rounds plus one anti-entropy sync) so the first
+		// compositions already read gossip-fresh statistics.
+		sys.Sim.RunUntil(sys.Sim.Now() + 12*time.Second)
+	}
 	// The request sequence depends only on (seed, rate) so every
 	// composer faces the identical workload.
 	gen := workload.NewGenerator(workload.Config{

@@ -212,3 +212,49 @@ func TestDelayP95TableShape(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsSourceGossipAdmitsAtLeastStale compares the same seeded
+// workload under gossip-disseminated statistics and under the
+// stale-statistics ablation: composition fed by the membership protocol's
+// fresh digests must admit at least as many requests as one fed by
+// 30-second-old cached reports.
+func TestStatsSourceGossipAdmitsAtLeastStale(t *testing.T) {
+	base := Config{
+		Nodes:      16,
+		Requests:   8,
+		SubmitGap:  300 * time.Millisecond,
+		MeasureFor: 3 * time.Second,
+	}
+
+	gossipCfg := base
+	gossipCfg.StatsSource = "gossip"
+	gossipRun, err := RunOne(gossipCfg, "mincost", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	staleCfg := base
+	staleCfg.StatsSource = "stale"
+	staleRun, err := RunOne(staleCfg, "mincost", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gossipRun.Composed == 0 {
+		t.Fatal("gossip-fed run admitted nothing")
+	}
+	if gossipRun.Composed < staleRun.Composed {
+		t.Fatalf("gossip-fed run admitted %d requests, stale-stats run %d; want gossip >= stale",
+			gossipRun.Composed, staleRun.Composed)
+	}
+	t.Logf("admitted: gossip=%d/%d stale=%d/%d",
+		gossipRun.Composed, gossipRun.Submitted, staleRun.Composed, staleRun.Submitted)
+}
+
+func TestStatsSourceUnknownRejected(t *testing.T) {
+	cfg := Config{Nodes: 8, Requests: 1}
+	cfg.StatsSource = "psychic"
+	if _, err := RunOne(cfg, "mincost", 5, 1); err == nil {
+		t.Fatal("unknown StatsSource accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package gossip
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the membership protocol (metric catalogue
+// rasc_gossip_*). Counters aggregate over every gossip instance in the
+// process: one in a live node, all simulated nodes in an experiment.
+// Membership gauges capture the most recently exported view (a live node
+// has exactly one instance; in simulations the last exporting node wins).
+var (
+	telProbes = telemetry.Default().CounterVec(
+		"rasc_gossip_probes_total",
+		"Failure-detector probe outcomes, by result.",
+		"result")
+	telSuspicions = telemetry.Default().Counter(
+		"rasc_gossip_suspicions_total",
+		"Members moved to the suspect state.")
+	telDeaths = telemetry.Default().Counter(
+		"rasc_gossip_deaths_total",
+		"Members declared dead after an unrefuted suspicion.")
+	telRefutations = telemetry.Default().Counter(
+		"rasc_gossip_refutations_total",
+		"Suspicions of this node refuted with a higher incarnation.")
+	telSyncs = telemetry.Default().Counter(
+		"rasc_gossip_syncs_total",
+		"Push-pull anti-entropy exchanges completed.")
+	telMembers = telemetry.Default().GaugeVec(
+		"rasc_gossip_members",
+		"Membership view counts at the last probe tick, by state.",
+		"state")
+	telDigestAge = telemetry.Default().Histogram(
+		"rasc_gossip_digest_age_seconds",
+		"Age of the probed member's monitoring digest at each probe tick.",
+		telemetry.ExpBuckets(0.25, 2, 10))
+	telConvergenceRounds = telemetry.Default().Histogram(
+		"rasc_gossip_convergence_rounds",
+		"Protocol rounds from first suspicion to a member's death.",
+		telemetry.LinearBuckets(1, 1, 12))
+
+	// Pre-resolved handles: probe results sit on the protocol hot path,
+	// and eager registration makes every series visible at 0 on /metrics.
+	telProbeAck      = telProbes.With("ack")
+	telProbeIndirect = telProbes.With("indirect-ack")
+	telProbeTimeout  = telProbes.With("timeout")
+
+	telMembersAlive   = telMembers.With("alive")
+	telMembersSuspect = telMembers.With("suspect")
+	telMembersDead    = telMembers.With("dead")
+)

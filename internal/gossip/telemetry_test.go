@@ -1,0 +1,70 @@
+package gossip
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGossipMetricsCatalogue pins the rasc_gossip_* family catalogue
+// (# HELP / # TYPE lines) exposed on /metrics. Values are process-global
+// and order-dependent across tests, so the golden captures the catalogue,
+// not samples.
+func TestGossipMetricsCatalogue(t *testing.T) {
+	tc := newGossipCluster(3, 2, testConfig(), false)
+	tc.step(2 * tc.gs[0].Config().SyncInterval) // populate every family
+
+	var got strings.Builder
+	for _, line := range strings.Split(telemetryExposition(), "\n") {
+		if strings.HasPrefix(line, "# HELP rasc_gossip_") || strings.HasPrefix(line, "# TYPE rasc_gossip_") {
+			got.WriteString(line)
+			got.WriteString("\n")
+		}
+	}
+	path := filepath.Join("testdata", "gossip_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("gossip catalogue mismatch\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+
+	// The pre-resolved series themselves must be present with labels.
+	exp := telemetryExposition()
+	for _, series := range []string{
+		`rasc_gossip_probes_total{result="ack"}`,
+		`rasc_gossip_probes_total{result="indirect-ack"}`,
+		`rasc_gossip_probes_total{result="timeout"}`,
+		`rasc_gossip_members{state="alive"}`,
+		`rasc_gossip_members{state="suspect"}`,
+		`rasc_gossip_members{state="dead"}`,
+		"rasc_gossip_digest_age_seconds_bucket",
+		"rasc_gossip_convergence_rounds_bucket",
+		"rasc_gossip_syncs_total",
+		"rasc_gossip_suspicions_total",
+		"rasc_gossip_deaths_total",
+		"rasc_gossip_refutations_total",
+	} {
+		if !strings.Contains(exp, series) {
+			t.Errorf("/metrics missing series %q", series)
+		}
+	}
+}
+
+// telemetryExposition scrapes the process-wide default registry.
+func telemetryExposition() string { return telemetry.Default().String() }

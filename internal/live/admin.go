@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/telemetry"
 )
 
@@ -65,6 +66,9 @@ type healthStatus struct {
 	Listener bool `json:"listener"`
 	// Peers is the number of overlay nodes this node currently knows.
 	Peers int `json:"peers"`
+	// Gossip summarizes the membership view (alive/suspect/dead counts
+	// and the stalest held digest age); absent when gossip is disabled.
+	Gossip *gossip.Summary `json:"gossip,omitempty"`
 }
 
 // handleHealthz reports 200 once the node has joined the overlay and its
@@ -74,6 +78,10 @@ func (a *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	a.node.DoSync(func() {
 		st.Joined = a.node.Overlay.Joined()
 		st.Peers = a.node.Overlay.NumKnown()
+		if a.node.Gossip != nil {
+			s := a.node.Gossip.Summary()
+			st.Gossip = &s
+		}
 	})
 	if c, err := net.DialTimeout("tcp", a.node.Addr(), 500*time.Millisecond); err == nil {
 		st.Listener = true

@@ -114,3 +114,38 @@ func TestHealthzBeforeListenerDeath(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 }
+
+func TestHealthzGossipSummary(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	adm, err := nodes[0].ServeAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { adm.Close() })
+
+	// The gossip view is seeded from the leaf set at startup, so all three
+	// members appear alive immediately; digest dissemination needs protocol
+	// round trips, so poll briefly for a non-negative age.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := adminGet(t, adm, "/healthz")
+		var st healthStatus
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("healthz body %q: %v", body, err)
+		}
+		if st.Gossip == nil {
+			t.Fatalf("healthz %q missing gossip summary", body)
+		}
+		if st.Gossip.Alive == 3 && st.Gossip.Suspect == 0 && st.Gossip.Dead == 0 &&
+			st.Gossip.OldestDigestAgeMs >= 0 {
+			if !strings.Contains(body, `"gossip"`) || !strings.Contains(body, `"oldestDigestAgeMs"`) {
+				t.Fatalf("healthz body %q missing gossip JSON fields", body)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gossip summary never converged: %+v", st.Gossip)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
@@ -45,6 +46,20 @@ type Config struct {
 	// control stays on TCP, mirroring the simulated transport's
 	// datagram semantics.
 	UDPData bool
+	// RefreshInterval is how often service registrations are re-published
+	// to the DHT so they migrate to new key roots as the ring changes
+	// (default 2s).
+	RefreshInterval time.Duration
+	// RecordTTL is how long a DHT registration survives without a refresh
+	// — a crashed node's services disappear from discovery within this
+	// bound (default 10s; must exceed RefreshInterval).
+	RecordTTL time.Duration
+	// DisableGossip turns the membership protocol off: lookups go to the
+	// DHT and composition fetches stats per host, as before.
+	DisableGossip bool
+	// Gossip tunes the membership protocol (zero value = defaults: 1s
+	// probe period, 300ms probe timeout, 3s suspicion timeout).
+	Gossip gossip.Config
 }
 
 // Node is a running live RASC node.
@@ -56,6 +71,8 @@ type Node struct {
 	Store   *dht.Store
 	Dir     *discovery.Directory
 	Engine  *stream.Engine
+	// Gossip is the node's membership instance (nil when disabled).
+	Gossip *gossip.Gossip
 
 	closeOnce sync.Once
 }
@@ -109,6 +126,15 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.JoinTimeout == 0 {
 		cfg.JoinTimeout = 10 * time.Second
 	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 2 * time.Second
+	}
+	if cfg.RecordTTL <= 0 {
+		cfg.RecordTTL = 10 * time.Second
+	}
+	if cfg.RecordTTL <= cfg.RefreshInterval {
+		return nil, fmt.Errorf("live: RecordTTL %v must exceed RefreshInterval %v", cfg.RecordTTL, cfg.RefreshInterval)
+	}
 	var ep transport.Endpoint
 	var err error
 	if cfg.UDPData {
@@ -137,14 +163,30 @@ func Start(cfg Config) (*Node, error) {
 		n.Overlay = overlay.NewNode(overlay.HashID(name), lep, clk)
 		n.Store = dht.New(n.Overlay, clk)
 		// Registrations age out unless refreshed (StartRefresh below
-		// re-publishes every 2s), so a crashed node's services
-		// disappear from discovery within the TTL.
-		n.Store.TTL = 10 * time.Second
+		// re-publishes every RefreshInterval), so a crashed node's
+		// services disappear from discovery within the TTL.
+		n.Store.TTL = cfg.RecordTTL
 		n.Dir = discovery.New(n.Overlay, n.Store, clk)
 		n.Engine = stream.NewEngine(n.Overlay, clk, n.Dir, cfg.Catalog, newLiveRand(name), stream.Config{
 			InBps:  cfg.InBps,
 			OutBps: cfg.OutBps,
 		})
+		if !cfg.DisableGossip {
+			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), cfg.Gossip)
+			eng, dir, ov := n.Engine, n.Dir, n.Overlay
+			n.Gossip.SetDigestFunc(func() gossip.Digest {
+				return gossip.Digest{
+					Report:   eng.Monitor.Report(clk.Now()),
+					Services: dir.LocalServices(),
+				}
+			})
+			n.Gossip.OnMemberDead(func(info overlay.NodeInfo) {
+				ov.RemovePeer(info.ID)
+				eng.OnPeerDead(info.ID)
+			})
+			dir.SetView(n.Gossip)
+			eng.SetStatsProvider(n.Gossip.ReportFor)
+		}
 		if cfg.Bootstrap == "" {
 			n.Overlay.Bootstrap()
 			close(joined)
@@ -163,7 +205,7 @@ func Start(cfg Config) (*Node, error) {
 			n.Dir.Announce(svc)
 		}
 		// Keep registrations converged as the ring grows.
-		n.Dir.StartRefresh(2 * time.Second)
+		n.Dir.StartRefresh(cfg.RefreshInterval)
 		// Periodically exchange leaf sets so concurrent joins converge.
 		var stabilize func()
 		stabilize = func() {
@@ -171,6 +213,12 @@ func Start(cfg Config) (*Node, error) {
 			clk.After(2*time.Second, stabilize)
 		}
 		clk.After(time.Second, stabilize)
+		// Membership bootstraps from the post-join leaf set; anti-entropy
+		// pulls the rest of the roster.
+		if n.Gossip != nil {
+			n.Gossip.Seed(n.Overlay.Leafset())
+			n.Gossip.Start()
+		}
 	})
 	return n, nil
 }

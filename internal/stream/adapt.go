@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/spec"
 )
 
@@ -80,6 +81,7 @@ func (st *originState) admittedBelowDesired() bool {
 func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
 	cfg.defaults()
 	e.DisableAdaptation()
+	e.adaptCfg = &cfg
 	var tick func()
 	tick = func() {
 		e.checkAdaptation(cfg)
@@ -99,6 +101,32 @@ func (e *Engine) DisableAdaptation() {
 // Recompositions counts adaptation-triggered re-compositions (diagnostics
 // and tests).
 func (e *Engine) Recompositions() int64 { return e.recompositions }
+
+// OnPeerDead re-composes every origin application that has a component
+// placed on the dead node, immediately — the membership-event fast path,
+// fired by the gossip failure detector well before the periodic
+// delivery-rate check would notice the degradation. It uses the
+// configuration stored by EnableAdaptation (or its defaults when
+// adaptation was never enabled).
+func (e *Engine) OnPeerDead(id overlay.ID) {
+	cfg := e.adaptCfg
+	if cfg == nil {
+		c := AdaptationConfig{}
+		c.defaults()
+		cfg = &c
+	}
+	for reqID, st := range e.origins {
+		if st.recomposing {
+			continue
+		}
+		for _, p := range st.graph.Placements {
+			if p.Host.ID == id {
+				e.recompose(reqID, st, cfg.Composer, cfg.Timeout)
+				break
+			}
+		}
+	}
+}
 
 // checkAdaptation inspects every live origin application and re-composes
 // the degraded ones.

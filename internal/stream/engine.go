@@ -95,7 +95,14 @@ type Engine struct {
 	// adaptation loop.
 	origins        map[string]*originState
 	adaptCancel    func()
+	adaptCfg       *AdaptationConfig
 	recompositions int64
+
+	// statsProvider, when set, answers composition-time stats queries from
+	// a locally converged view (the gossip digest store) instead of
+	// per-host RPC fetches. Hosts the provider cannot answer for fall back
+	// to the RPC path.
+	statsProvider func(overlay.ID) (monitor.Report, bool)
 
 	// tracer, when set, records per-unit events.
 	tracer *trace.Buffer
@@ -180,6 +187,13 @@ func (e *Engine) traceEvent(kind trace.Kind, m dataMsg, stage int, note string) 
 		Seq:       m.Seq,
 		Note:      note,
 	})
+}
+
+// SetStatsProvider installs a local source of candidate-host monitoring
+// reports — gossip-fresh digests — consulted before the per-host stats RPC
+// during composition. Pass nil to restore fetch-only behavior.
+func (e *Engine) SetStatsProvider(fn func(overlay.ID) (monitor.Report, bool)) {
+	e.statsProvider = fn
 }
 
 // Sink returns the sink for a request substream hosted at this engine, or

@@ -79,6 +79,17 @@ func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout t
 			}
 			continue
 		}
+		if e.statsProvider != nil {
+			if rep, ok := e.statsProvider(h.ID); ok {
+				// Gossip-fresh digest: no fetch round trip.
+				reports[h.ID] = rep
+				remaining--
+				if remaining == 0 {
+					finish()
+				}
+				continue
+			}
+		}
 		e.node.Request(h.Addr, appStats, nil, timeout, func(body []byte, err error) {
 			if err == nil {
 				var rep monitor.Report

@@ -27,6 +27,7 @@ import (
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/deploy"
 	"rasc.dev/rasc/internal/experiment"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/netsim"
 	"rasc.dev/rasc/internal/services"
@@ -85,6 +86,12 @@ type Options struct {
 	// SchedPolicy selects the node scheduler: "llf" (default), "edf" or
 	// "fifo".
 	SchedPolicy string
+	// EnableGossip runs the SWIM-style membership protocol on every node:
+	// service lookups are answered from the gossip view (DHT fallback),
+	// composition reads gossip-disseminated monitoring digests instead of
+	// fetching per-host snapshots, and a detected node death immediately
+	// re-composes the applications placed on it.
+	EnableGossip bool
 }
 
 // System is a running simulated RASC deployment.
@@ -121,6 +128,11 @@ func NewSimulated(opts Options) *System {
 		SchedPolicy:      opts.SchedPolicy,
 		ProcJitter:       0.2,
 		HeterogeneousCPU: true,
+		EnableGossip:     opts.EnableGossip,
+		// The default 300ms probe timeout sits below the topology's worst
+		// inter-site RTT (~330ms); 500ms keeps healthy members from being
+		// falsely suspected.
+		Gossip: gossip.Config{ProbeTimeout: 500 * time.Millisecond},
 	})
 	return &System{d: d}
 }
@@ -264,6 +276,20 @@ func (s *System) EnableAdaptation(i int, interval time.Duration) {
 // Recompositions reports how many times node i's adaptation loop has
 // re-composed an application.
 func (s *System) Recompositions(i int) int64 { return s.d.Engines[i].Recompositions() }
+
+// MembershipSummary is a node's gossip view at a glance: alive, suspect
+// and dead member counts plus the age of the stalest monitoring digest it
+// holds.
+type MembershipSummary = gossip.Summary
+
+// Membership returns node i's gossip membership summary. The second
+// result is false when the deployment runs without gossip.
+func (s *System) Membership(i int) (MembershipSummary, bool) {
+	if s.d.Gossip == nil || s.d.Gossip[i] == nil {
+		return MembershipSummary{}, false
+	}
+	return s.d.Gossip[i].Summary(), true
+}
 
 // TraceBuffer records per-unit events (emit/arrive/process/forward/drop/
 // deliver) for timeline reconstruction and per-hop latency analysis.
