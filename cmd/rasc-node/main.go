@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/live"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/transport"
 )
 
 func main() {
@@ -43,6 +45,14 @@ func main() {
 		noGossip  = flag.Bool("no-gossip", false, "disable the gossip membership protocol (DHT-only lookups, fetch-time stats)")
 		probeIvl  = flag.Duration("gossip-probe-interval", 0, "gossip failure-detector probe period (0: default 1s)")
 		suspicion = flag.Duration("gossip-suspicion-timeout", 0, "how long a suspect member may refute before it is declared dead (0: default 3s)")
+
+		noResilience = flag.Bool("no-resilience", false, "send frames synchronously instead of through the async retry/breaker pipeline")
+		breakerFails = flag.Int("breaker-threshold", 0, "consecutive delivery failures before a peer's circuit opens (0: default 5)")
+		breakerOpen  = flag.Duration("breaker-open-timeout", 0, "how long an open circuit waits before probing the peer again (0: default 2s)")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "fault injection: probability each outbound message is dropped")
+		chaosDelay   = flag.Duration("chaos-delay", 0, "fault injection: fixed extra delay on every outbound message")
+		chaosJitter  = flag.Duration("chaos-delay-jitter", 0, "fault injection: uniform extra delay in [0, jitter)")
+		chaosSeed    = flag.Int64("chaos-seed", 0, "fault injection: seed for reproducible fault sequences (0: wall clock)")
 	)
 	flag.Parse()
 
@@ -62,6 +72,19 @@ func main() {
 		Gossip: gossip.Config{
 			ProbeInterval:    *probeIvl,
 			SuspicionTimeout: *suspicion,
+		},
+		DisableResilience: *noResilience,
+		Resilience: transport.ResilientConfig{
+			Breaker: transport.BreakerConfig{
+				FailureThreshold: *breakerFails,
+				OpenTimeout:      *breakerOpen,
+			},
+		},
+		Chaos: transport.ChaosConfig{
+			Seed:        *chaosSeed,
+			Drop:        *chaosDrop,
+			Delay:       *chaosDelay,
+			DelayJitter: *chaosJitter,
 		},
 	})
 	if err != nil {
@@ -84,8 +107,8 @@ func main() {
 	}
 	fmt.Println()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *submit != "" {
 		chain := strings.Split(*submit, ",")
@@ -98,7 +121,8 @@ func main() {
 			UnitBytes:  *unit,
 			Substreams: []spec.Substream{{Services: chain, Rate: rateUnits}},
 		}
-		graph, err := node.Submit(req, *composer, 10*time.Second)
+		// An interrupt while composition is in flight cancels the wait.
+		graph, err := node.SubmitContext(ctx, req, *composer, 10*time.Second)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 			os.Exit(1)
@@ -115,10 +139,10 @@ func main() {
 				s := node.Stats(req.ID, 0)
 				fmt.Printf("emitted=%d delivered=%d delay=%v jitter=%v\n",
 					s.Emitted, s.Received, s.MeanDelay.Round(time.Millisecond), s.MeanJitter.Round(time.Millisecond))
-			case <-stop:
+			case <-ctx.Done():
 				return
 			}
 		}
 	}
-	<-stop
+	<-ctx.Done()
 }

@@ -21,7 +21,7 @@ import (
 
 // replayWorkload submits every request of a saved workload file from
 // round-robin origins and prints per-request plus aggregate results.
-func replayWorkload(sys *rasc.System, path, composer string, duration time.Duration) {
+func replayWorkload(sys *rasc.System, path string, composer rasc.Composer, duration time.Duration) {
 	reqs, err := workload.LoadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
@@ -74,16 +74,38 @@ func main() {
 		workFile = flag.String("workload", "", "replay a JSON workload file instead of a single request")
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
 		gossipOn = flag.Bool("gossip", false, "run the gossip membership protocol: view-backed lookups, gossip-fresh stats, failure-triggered recomposition")
+
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability each transport message is dropped")
+		chaosDelay   = flag.Duration("chaos-delay", 0, "fixed extra delay injected into every transport message")
+		chaosJitter  = flag.Duration("chaos-delay-jitter", 0, "uniform extra delay in [0, jitter) on top of -chaos-delay")
+		chaosDup     = flag.Float64("chaos-dup", 0, "probability each transport message is duplicated")
+		chaosReorder = flag.Float64("chaos-reorder", 0, "probability each transport message is held back and overtaken")
 	)
 	flag.Parse()
 
-	sys := rasc.NewSimulated(rasc.Options{Nodes: *nodes, Seed: *seed, EnableGossip: *gossipOn})
+	cmp, err := rasc.ParseComposer(*composer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := []rasc.Option{rasc.WithNodes(*nodes), rasc.WithSeed(*seed), rasc.WithGossip(*gossipOn)}
+	chaos := rasc.ChaosConfig{
+		Drop:        *chaosDrop,
+		Delay:       *chaosDelay,
+		DelayJitter: *chaosJitter,
+		Duplicate:   *chaosDup,
+		Reorder:     *chaosReorder,
+	}
+	if chaos.Active() {
+		opts = append(opts, rasc.WithChaos(chaos))
+	}
+	sys := rasc.New(opts...)
 	var buf *rasc.TraceBuffer
 	if *traceOn {
 		buf = sys.EnableTracing(1_000_000)
 	}
 	if *workFile != "" {
-		replayWorkload(sys, *workFile, *composer, *duration)
+		replayWorkload(sys, *workFile, cmp, *duration)
 		dumpTelemetry(sys, *telOut)
 		return
 	}
@@ -98,8 +120,8 @@ func main() {
 		Substreams: []rasc.Substream{{Services: chain, Rate: rateUnits}},
 	}
 	fmt.Printf("submitting %v at %d Kbps (%d units/sec) via %s from node %d\n",
-		chain, *rateKbps, rateUnits, *composer, *origin)
-	comp, err := sys.Submit(*origin, req, *composer)
+		chain, *rateKbps, rateUnits, cmp, *origin)
+	comp, err := sys.Submit(*origin, req, cmp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "composition failed: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,27 @@
+package rasc
+
+import "errors"
+
+// Sentinel errors returned (wrapped, with request-specific detail) by the
+// facade. Match them with errors.Is:
+//
+//	if _, err := sys.Submit(0, req, rasc.ComposerMinCost); errors.Is(err, rasc.ErrNoComposition) {
+//		// back off, lower the requested rate, retry elsewhere …
+//	}
+var (
+	// ErrUnknownComposer reports a composer name outside Composers().
+	// Returned by ParseComposer and by Submit when handed an unchecked
+	// Composer value.
+	ErrUnknownComposer = errors.New("rasc: unknown composer")
+
+	// ErrNoComposition reports that the composer ran but found no feasible
+	// placement: no set of service instances can carry the requested rates
+	// within the deployment's current bandwidth (and, for the cpu
+	// composers, CPU) availability. The wrapped chain keeps the underlying
+	// solver error, so more specific sentinels still match through it.
+	ErrNoComposition = errors.New("rasc: no feasible composition")
+
+	// ErrUnknownService reports a request naming a service that is not in
+	// the deployment's catalog — composition is not attempted.
+	ErrUnknownService = errors.New("rasc: unknown service")
+)

@@ -14,7 +14,7 @@ import (
 func main() {
 	// A deterministic 16-node deployment; every node offers 5 of the 10
 	// standard services.
-	sys := rasc.NewSimulated(rasc.Options{Nodes: 16, Seed: 42})
+	sys := rasc.New(rasc.WithNodes(16), rasc.WithSeed(42))
 
 	// One substream: filter then transcode, delivered to the requester
 	// at 10 data units per second (10 kbit units -> 100 Kbps).

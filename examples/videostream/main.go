@@ -25,16 +25,15 @@ func main() {
 		},
 	}
 
-	for _, composer := range []string{rasc.ComposerMinCost, rasc.ComposerGreedy} {
+	for _, composer := range []rasc.Composer{rasc.ComposerMinCost, rasc.ComposerGreedy} {
 		// A tight deployment: 12 nodes with 120-450 Kbps access links,
 		// so no single node can relay the full 200 Kbps stream along
 		// with its other traffic.
-		sys := rasc.NewSimulated(rasc.Options{
-			Nodes:  12,
-			Seed:   7,
-			MinBps: 1.2e5,
-			MaxBps: 4.5e5,
-		})
+		sys := rasc.New(
+			rasc.WithNodes(12),
+			rasc.WithSeed(7),
+			rasc.WithLinkCapacity(1.2e5, 4.5e5),
+		)
 		fmt.Printf("=== %s ===\n", composer)
 		comp, err := sys.Submit(0, req, composer)
 		if err != nil {

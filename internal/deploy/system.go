@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"rasc.dev/rasc/internal/clock"
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
 	"rasc.dev/rasc/internal/gossip"
@@ -16,6 +17,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/simnet"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/transport"
 )
 
 // SystemOptions configures a full simulated RASC deployment.
@@ -34,6 +36,11 @@ type SystemOptions struct {
 	MaxLinkBacklog time.Duration
 	// CongestionJitter adds backlog-proportional delivery jitter.
 	CongestionJitter float64
+	// Chaos, when set, wraps every node's endpoint with fault injection
+	// (drop/delay/duplicate/reorder, plus on-demand partitions through
+	// System.Chaos[i]). Each node derives its own deterministic seed from
+	// the deployment seed; delays run on virtual time.
+	Chaos *transport.ChaosConfig
 
 	// Catalog defaults to services.Standard().
 	Catalog services.Catalog
@@ -89,6 +96,9 @@ type System struct {
 	// Gossip holds each node's membership instance (nil entries when
 	// EnableGossip is off).
 	Gossip []*gossip.Gossip
+	// Chaos holds each node's fault injector (nil when Options.Chaos is
+	// unset) — the handle for mid-run Partition/Heal.
+	Chaos []*transport.Chaos
 	// Placement records which services each node announced.
 	Placement [][]string
 }
@@ -107,7 +117,7 @@ func NewSystem(opts SystemOptions) *System {
 	if names == nil {
 		names = opts.Catalog.Names()
 	}
-	c := simnet.New(simnet.Options{
+	simOpts := simnet.Options{
 		N:                opts.Nodes,
 		Seed:             opts.Seed,
 		Topology:         opts.Topology,
@@ -115,8 +125,23 @@ func NewSystem(opts SystemOptions) *System {
 		LossRate:         opts.LossRate,
 		MaxLinkBacklog:   opts.MaxLinkBacklog,
 		CongestionJitter: opts.CongestionJitter,
-	})
-	s := &System{Cluster: c, Options: opts}
+	}
+	var chaosEPs []*transport.Chaos
+	if opts.Chaos != nil {
+		chaosEPs = make([]*transport.Chaos, opts.Nodes)
+		simOpts.WrapEndpoint = func(i int, ep transport.Endpoint, clk clock.Clock) transport.Endpoint {
+			cfg := *opts.Chaos
+			if cfg.Seed == 0 {
+				cfg.Seed = opts.Seed + 1 // stay deterministic under the simulator
+			}
+			cfg.Seed = cfg.Seed*1_000_003 + int64(i)
+			ch := transport.NewChaos(ep, cfg, clk)
+			chaosEPs[i] = ch
+			return ch
+		}
+	}
+	c := simnet.New(simOpts)
+	s := &System{Cluster: c, Options: opts, Chaos: chaosEPs}
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
 	for i, node := range c.Nodes {
 		store := dht.New(node, c.Clock)

@@ -25,6 +25,7 @@ import (
 	"rasc.dev/rasc/internal/clock"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/transport"
 )
 
 // State is a member's liveness state in the local view.
@@ -518,6 +519,24 @@ func (g *Gossip) pickRelays(target overlay.ID, k int) []overlay.NodeInfo {
 		pool = pool[:k]
 	}
 	return pool
+}
+
+// SuspectAddr suspects the alive member listening on addr, short-cutting
+// the probe path with first-hand transport evidence: when a peer's circuit
+// breaker opens, the membership layer need not wait for its own probe
+// timeouts to start the suspect→dead state machine. The member still gets
+// the usual suspicion window to refute. It reports whether a member was
+// suspected; like every Gossip method it must run on the protocol
+// goroutine.
+func (g *Gossip) SuspectAddr(addr transport.Addr) bool {
+	for id, m := range g.members {
+		if id == g.node.ID() || m.Info.Addr != addr || m.State != StateAlive {
+			continue
+		}
+		g.suspect(id)
+		return true
+	}
+	return false
 }
 
 // suspect transitions an alive member to suspect and starts its suspicion

@@ -1,0 +1,41 @@
+package gossip
+
+import (
+	"testing"
+)
+
+// TestSuspectAddr covers the transport-evidence shortcut: a circuit
+// breaker opening on node 1's address lets node 0 suspect it immediately,
+// and the normal suspicion machinery takes it from there — node 1, still
+// alive, refutes with a higher incarnation.
+func TestSuspectAddr(t *testing.T) {
+	tc := newGossipCluster(4, 11, testConfig(), false)
+	g := tc.gs[0]
+	victim := tc.c.Nodes[1]
+
+	if g.SuspectAddr("sim://no-such-node") {
+		t.Fatal("unknown address reported a suspicion")
+	}
+	if !g.SuspectAddr(victim.Addr()) {
+		t.Fatal("known alive member's address was not suspected")
+	}
+	if m, _ := g.Member(victim.ID()); m.State != StateSuspect {
+		t.Fatalf("member state %v after SuspectAddr, want suspect", m.State)
+	}
+	// Suspecting an already-suspect member is a no-op, not a fresh timer.
+	if g.SuspectAddr(victim.Addr()) {
+		t.Fatal("re-suspecting a suspect member reported a transition")
+	}
+	// Self is never suspected via transport evidence.
+	if g.SuspectAddr(tc.c.Nodes[0].Addr()) {
+		t.Fatal("node suspected itself")
+	}
+
+	// The victim is actually alive: within the suspicion window the rumor
+	// reaches it and it refutes, so every view returns to alive.
+	rounds := runUntilConverged(t, tc, []int{0}, map[int]State{1: StateAlive}, 30)
+	t.Logf("refuted after %d rounds", rounds)
+	if m, _ := g.Member(victim.ID()); m.State != StateAlive {
+		t.Fatal("victim did not refute transport-evidence suspicion")
+	}
+}

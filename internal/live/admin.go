@@ -6,10 +6,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"time"
 
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/telemetry"
+	"rasc.dev/rasc/internal/transport"
 )
 
 // AdminServer is the node's operational side port: /metrics (Prometheus
@@ -69,6 +71,16 @@ type healthStatus struct {
 	// Gossip summarizes the membership view (alive/suspect/dead counts
 	// and the stalest held digest age); absent when gossip is disabled.
 	Gossip *gossip.Summary `json:"gossip,omitempty"`
+	// Transport summarizes the resilient pipeline's circuit breakers;
+	// absent when resilience is disabled.
+	Transport *transportHealth `json:"transport,omitempty"`
+}
+
+// transportHealth is the /healthz breaker summary: how many peers the
+// pipeline tracks and which of them the breaker currently holds not-closed.
+type transportHealth struct {
+	Peers     int      `json:"peers"`
+	SickPeers []string `json:"sickPeers,omitempty"`
 }
 
 // handleHealthz reports 200 once the node has joined the overlay and its
@@ -83,6 +95,17 @@ func (a *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			st.Gossip = &s
 		}
 	})
+	if a.node.Transport != nil {
+		states := a.node.Transport.PeerStates()
+		th := &transportHealth{Peers: len(states)}
+		for addr, bs := range states {
+			if bs != transport.BreakerClosed {
+				th.SickPeers = append(th.SickPeers, fmt.Sprintf("%s (%s)", addr, bs))
+			}
+		}
+		sort.Strings(th.SickPeers)
+		st.Transport = th
+	}
 	if c, err := net.DialTimeout("tcp", a.node.Addr(), 500*time.Millisecond); err == nil {
 		st.Listener = true
 		c.Close()

@@ -6,6 +6,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -60,6 +61,19 @@ type Config struct {
 	// Gossip tunes the membership protocol (zero value = defaults: 1s
 	// probe period, 300ms probe timeout, 3s suspicion timeout).
 	Gossip gossip.Config
+	// Resilience tunes the async send pipeline wrapped around the protocol
+	// endpoint: per-peer bounded queues, batch coalescing, retry with
+	// backoff, and circuit breakers (zero value = defaults).
+	Resilience transport.ResilientConfig
+	// DisableResilience sends every frame synchronously on the caller's
+	// goroutine, without queues, retries or breakers. Peers then must not
+	// batch either: batch envelopes are only unpacked by resilient nodes.
+	DisableResilience bool
+	// Chaos, when it injects any fault, wraps the wire below the resilient
+	// pipeline with seedable drop/delay/duplicate/reorder faults — failure
+	// drills on a live cluster, exercising the same retry and breaker
+	// machinery the tests exercise.
+	Chaos transport.ChaosConfig
 }
 
 // Node is a running live RASC node.
@@ -73,6 +87,9 @@ type Node struct {
 	Engine  *stream.Engine
 	// Gossip is the node's membership instance (nil when disabled).
 	Gossip *gossip.Gossip
+	// Transport is the resilient send pipeline (nil when disabled); its
+	// breaker states feed /healthz and gossip suspicion.
+	Transport *transport.Resilient
 
 	closeOnce sync.Once
 }
@@ -148,9 +165,36 @@ func Start(cfg Config) (*Node, error) {
 	n := &Node{
 		loop: make(chan func(), 1024),
 		done: make(chan struct{}),
-		ep:   ep,
 	}
 	go n.run()
+	// Wire order, outermost first: Resilient → Chaos → socket. Chaos sits
+	// below the pipeline so injected faults exercise the same retry and
+	// breaker machinery real network trouble would.
+	if cfg.Chaos.Active() {
+		ep = transport.NewChaos(ep, cfg.Chaos, nil)
+	}
+	if !cfg.DisableResilience {
+		rcfg := cfg.Resilience
+		userCB := rcfg.OnBreakerChange
+		rcfg.OnBreakerChange = func(peer transport.Addr, state transport.BreakerState) {
+			if userCB != nil {
+				userCB(peer, state)
+			}
+			if state != transport.BreakerOpen {
+				return
+			}
+			// First-hand delivery failure: hand the peer to the membership
+			// layer ahead of its own probe timeouts.
+			n.post(func() {
+				if n.Gossip != nil {
+					n.Gossip.SuspectAddr(peer)
+				}
+			})
+		}
+		n.Transport = transport.NewResilient(ep, rcfg)
+		ep = n.Transport
+	}
+	n.ep = ep
 	post := n.post
 	lep := &loopEndpoint{inner: ep, post: post}
 	clk := loopClock{real: clock.NewReal(), post: post}
@@ -265,8 +309,17 @@ func (n *Node) DoSync(fn func()) {
 func (n *Node) Addr() string { return string(n.ep.Addr()) }
 
 // Submit composes and starts a request from this node, blocking until
-// composition completes or timeout passes.
+// composition completes or timeout passes. It is SubmitContext with
+// context.Background().
 func (n *Node) Submit(req spec.Request, composerName string, timeout time.Duration) (*core.ExecutionGraph, error) {
+	return n.SubmitContext(context.Background(), req, composerName, timeout)
+}
+
+// SubmitContext composes and starts a request from this node, blocking
+// until composition completes, timeout passes, or ctx is done. A
+// cancelled context abandons the wait and returns ctx.Err(); the compose
+// RPCs already in flight finish (and are discarded) on the actor loop.
+func (n *Node) SubmitContext(ctx context.Context, req spec.Request, composerName string, timeout time.Duration) (*core.ExecutionGraph, error) {
 	type result struct {
 		graph *core.ExecutionGraph
 		err   error
@@ -291,6 +344,8 @@ func (n *Node) Submit(req spec.Request, composerName string, timeout time.Durati
 	select {
 	case r := <-ch:
 		return r.graph, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-time.After(timeout + time.Second):
 		return nil, fmt.Errorf("live: submit timed out")
 	}

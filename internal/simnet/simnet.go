@@ -36,6 +36,11 @@ type Options struct {
 	// (enabled by default: contested routing-table slots go to the
 	// lower-RTT peer).
 	ProximityBlind bool
+	// WrapEndpoint, when set, wraps each node's transport endpoint before
+	// the overlay node is built — fault-injection (transport.Chaos) or
+	// other interception layers hook in here. i is the node index; clk is
+	// the cluster's virtual clock, so wrappers schedule on simulated time.
+	WrapEndpoint func(i int, ep transport.Endpoint, clk clock.Clock) transport.Endpoint
 }
 
 // Cluster is a fully joined simulated overlay.
@@ -76,7 +81,10 @@ func New(opts Options) *Cluster {
 	c := &Cluster{Sim: sim, Net: nw, Mem: mem, Clock: clk, Topology: topo}
 	for i := 0; i < opts.N; i++ {
 		netID := nw.AddNode(topo.UpBps[i], topo.DownBps[i])
-		ep := mem.Endpoint(netID)
+		var ep transport.Endpoint = mem.Endpoint(netID)
+		if opts.WrapEndpoint != nil {
+			ep = opts.WrapEndpoint(i, ep, clk)
+		}
 		c.Endpoints = append(c.Endpoints, ep)
 		id := overlay.HashID(fmt.Sprintf("rasc-node-%d-%d", opts.Seed, i))
 		c.NetIDs = append(c.NetIDs, netID)

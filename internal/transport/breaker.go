@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// BreakerState is a per-peer circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails sends fast; after OpenTimeout the next send is
+	// allowed through as a half-open probe.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one batch probe the peer: success
+	// closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// ErrPeerDown is returned by Send while a peer's circuit breaker is open:
+// recent sends to the peer failed and the backoff window has not elapsed.
+// Callers should treat the peer as unreachable rather than retrying
+// immediately.
+var ErrPeerDown = errors.New("transport: peer circuit breaker open")
+
+// BreakerConfig tunes the per-peer circuit breaker. The zero value selects
+// the defaults noted on each field.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive send failures trip the
+	// breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker rejects sends before
+	// allowing a half-open probe (default 2s).
+	OpenTimeout time.Duration
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 2 * time.Second
+	}
+}
+
+// breaker is the closed → open → half-open state machine guarding one
+// peer. It is not internally synchronized: the owning peer serializes all
+// calls under its own lock.
+type breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // wall time the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	onChange func(from, to BreakerState)
+}
+
+func newBreaker(cfg BreakerConfig, onChange func(from, to BreakerState)) *breaker {
+	cfg.defaults()
+	return &breaker{cfg: cfg, onChange: onChange}
+}
+
+func (b *breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// allow reports whether a send may proceed right now, moving an expired
+// open breaker to half-open. In half-open state only the single probe in
+// flight is admitted.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a delivered batch.
+func (b *breaker) success() {
+	b.failures = 0
+	b.probing = false
+	b.transition(BreakerClosed)
+}
+
+// failure records a batch whose retries were exhausted.
+func (b *breaker) failure(now time.Time) {
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = now
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openedAt = now
+			b.transition(BreakerOpen)
+		}
+	case BreakerOpen:
+		b.openedAt = now
+	}
+}

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	var seen []BreakerState
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second},
+		func(_, to BreakerState) { seen = append(seen, to) })
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+		if b.state != BreakerClosed {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+	}
+	b.failure(now)
+	if b.state != BreakerOpen {
+		t.Fatalf("state = %v after threshold, want open", b.state)
+	}
+	if len(seen) != 1 || seen[0] != BreakerOpen {
+		t.Fatalf("transitions = %v", seen)
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker allowed a send inside the window")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second}, nil)
+	now := time.Now()
+	b.failure(now)
+	after := now.Add(2 * time.Second)
+	if !b.allow(after) {
+		t.Fatal("expired open window refused the probe")
+	}
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.state)
+	}
+	if b.allow(after) {
+		t.Fatal("second send admitted while probe in flight")
+	}
+	b.success()
+	if b.state != BreakerClosed {
+		t.Fatalf("state = %v after probe success, want closed", b.state)
+	}
+	if !b.allow(after) {
+		t.Fatal("closed breaker refused a send")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second}, nil)
+	now := time.Now()
+	b.failure(now)
+	probeAt := now.Add(2 * time.Second)
+	if !b.allow(probeAt) {
+		t.Fatal("probe refused")
+	}
+	b.failure(probeAt)
+	if b.state != BreakerOpen {
+		t.Fatalf("state = %v after probe failure, want open", b.state)
+	}
+	// The window restarts from the failed probe.
+	if b.allow(probeAt.Add(500 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted a send inside the fresh window")
+	}
+	if !b.allow(probeAt.Add(2 * time.Second)) {
+		t.Fatal("re-opened breaker never re-probed")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Second}, nil)
+	now := time.Now()
+	b.failure(now)
+	b.success()
+	b.failure(now)
+	if b.state != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}

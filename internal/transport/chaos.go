@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+)
+
+// ErrInjected is the error a non-silent Chaos wrapper returns for a
+// message it dropped or partitioned away. Layers above (Resilient) treat
+// it like any other send failure: retry, then trip the breaker.
+var ErrInjected = errors.New("transport: chaos-injected fault")
+
+// reorderHold is how long a message selected for reordering is held
+// before it is flushed anyway (when no follow-up message overtakes it).
+const reorderHold = 50 * time.Millisecond
+
+// ChaosConfig parameterizes fault injection. Probabilities are clamped to
+// [0, 1]; the zero value injects nothing.
+type ChaosConfig struct {
+	// Seed makes every fault decision reproducible; 0 seeds from the
+	// wall clock.
+	Seed int64
+	// Drop is the probability a message is dropped outright.
+	Drop float64
+	// Delay and DelayJitter hold every delivered message for
+	// Delay + uniform[0, DelayJitter) before it reaches the wire.
+	Delay, DelayJitter time.Duration
+	// Duplicate is the probability a message is sent twice.
+	Duplicate float64
+	// Reorder is the probability a message is held back and overtaken by
+	// the next message to the same destination (flushed after 50ms when
+	// nothing overtakes it).
+	Reorder float64
+	// SilentDrop makes drops and partitions report success, as real
+	// packet loss would, instead of returning ErrInjected. Leave false
+	// for retry/breaker testing: the caller sees the failure.
+	SilentDrop bool
+}
+
+func (c *ChaosConfig) clamp() {
+	clamp01 := func(p *float64) {
+		if *p < 0 {
+			*p = 0
+		}
+		if *p > 1 {
+			*p = 1
+		}
+	}
+	clamp01(&c.Drop)
+	clamp01(&c.Duplicate)
+	clamp01(&c.Reorder)
+}
+
+// Active reports whether the configuration injects any fault at all.
+func (c ChaosConfig) Active() bool {
+	return c.Drop > 0 || c.Delay > 0 || c.DelayJitter > 0 || c.Duplicate > 0 || c.Reorder > 0
+}
+
+// Chaos wraps an Endpoint and injects faults into its outbound path:
+// probabilistic drops, fixed-plus-jitter delays, duplicates, pairwise
+// reordering, and on-demand partitions by destination. Inbound traffic is
+// untouched — wrap both ends to disturb both directions. All decisions
+// come from a seedable source, so a seeded wrapper injects the same fault
+// sequence every run (timer interleaving aside). Delays and reorder
+// flushes are scheduled on the provided clock, so under the simulator
+// they consume virtual time.
+type Chaos struct {
+	inner Endpoint
+	clk   clock.Clock
+	cfg   ChaosConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[Addr]bool
+	held        map[Addr]Message
+	closed      bool
+}
+
+var _ Endpoint = (*Chaos)(nil)
+
+// NewChaos wraps inner with fault injection. A nil clk uses the wall
+// clock.
+func NewChaos(inner Endpoint, cfg ChaosConfig, clk clock.Clock) *Chaos {
+	cfg.clamp()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Chaos{
+		inner:       inner,
+		clk:         clk,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		partitioned: make(map[Addr]bool),
+		held:        make(map[Addr]Message),
+	}
+}
+
+// Addr returns the inner endpoint's address.
+func (c *Chaos) Addr() Addr { return c.inner.Addr() }
+
+// SetHandler passes through to the inner endpoint.
+func (c *Chaos) SetHandler(h Handler) { c.inner.SetHandler(h) }
+
+// SetDropHandler passes through to the inner endpoint.
+func (c *Chaos) SetDropHandler(h Handler) { c.inner.SetDropHandler(h) }
+
+// Close closes the inner endpoint; held and delayed messages are
+// abandoned.
+func (c *Chaos) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.held = make(map[Addr]Message)
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// Partition cuts the outbound path to the given destinations: every send
+// to them faults until Heal.
+func (c *Chaos) Partition(addrs ...Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		c.partitioned[a] = true
+	}
+}
+
+// Heal restores the outbound path to the given destinations.
+func (c *Chaos) Heal(addrs ...Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		delete(c.partitioned, a)
+	}
+}
+
+// HealAll clears every partition.
+func (c *Chaos) HealAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partitioned = make(map[Addr]bool)
+}
+
+// Send applies the configured faults and forwards whatever survives to
+// the inner endpoint.
+func (c *Chaos) Send(to Addr, msg Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.partitioned[to] {
+		c.mu.Unlock()
+		telChaosInjected.With("partition").Inc()
+		return c.dropResult(to, "partitioned")
+	}
+	if c.cfg.Drop > 0 && c.rng.Float64() < c.cfg.Drop {
+		c.mu.Unlock()
+		telChaosInjected.With("drop").Inc()
+		return c.dropResult(to, "dropped")
+	}
+	duplicate := c.cfg.Duplicate > 0 && c.rng.Float64() < c.cfg.Duplicate
+	delay := c.delayLocked()
+	if prev, ok := c.held[to]; ok {
+		// A message is waiting to be overtaken: send the current one
+		// first, then the held one — their order on the wire swaps.
+		delete(c.held, to)
+		c.mu.Unlock()
+		err := c.deliver(to, msg, delay, duplicate)
+		c.deliver(to, prev, 0, false)
+		return err
+	}
+	if c.cfg.Reorder > 0 && c.rng.Float64() < c.cfg.Reorder {
+		c.held[to] = msg
+		c.mu.Unlock()
+		telChaosInjected.With("reorder").Inc()
+		c.clk.After(reorderHold, func() { c.flushHeld(to) })
+		return nil
+	}
+	c.mu.Unlock()
+	return c.deliver(to, msg, delay, duplicate)
+}
+
+// dropResult reports a dropped message according to SilentDrop.
+func (c *Chaos) dropResult(to Addr, why string) error {
+	if c.cfg.SilentDrop {
+		return nil
+	}
+	return fmt.Errorf("%w: %s to %s", ErrInjected, why, to)
+}
+
+// delayLocked draws this message's injected delay; caller holds c.mu.
+func (c *Chaos) delayLocked() time.Duration {
+	d := c.cfg.Delay
+	if c.cfg.DelayJitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.cfg.DelayJitter)))
+	}
+	return d
+}
+
+// deliver forwards msg (and a duplicate when asked) after the injected
+// delay. Delayed sends report success immediately; their eventual failure
+// is indistinguishable from loss, exactly like a real network.
+func (c *Chaos) deliver(to Addr, msg Message, delay time.Duration, duplicate bool) error {
+	if duplicate {
+		telChaosInjected.With("duplicate").Inc()
+	}
+	if delay > 0 {
+		telChaosInjected.With("delay").Inc()
+		c.clk.After(delay, func() {
+			c.inner.Send(to, msg)
+			if duplicate {
+				c.inner.Send(to, msg)
+			}
+		})
+		return nil
+	}
+	err := c.inner.Send(to, msg)
+	if duplicate {
+		c.inner.Send(to, msg)
+	}
+	return err
+}
+
+// flushHeld sends a reorder-held message that nothing overtook.
+func (c *Chaos) flushHeld(to Addr) {
+	c.mu.Lock()
+	msg, ok := c.held[to]
+	if ok {
+		delete(c.held, to)
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if ok && !closed {
+		c.deliver(to, msg, 0, false)
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestChaosSeededDeterminism: two wrappers with the same seed make the
+// same drop decisions for the same send sequence.
+func TestChaosSeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		inner := newFakeEP()
+		c := NewChaos(inner, ChaosConfig{Seed: 99, Drop: 0.5}, nil)
+		outcomes := make([]bool, 100)
+		for i := range outcomes {
+			outcomes[i] = c.Send("peer", Message{Type: "m", Payload: []byte(strconv.Itoa(i))}) == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	delivered := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverged at send %d", i)
+		}
+		if a[i] {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(a) {
+		t.Fatalf("drop 0.5 delivered %d/%d — injection inactive", delivered, len(a))
+	}
+}
+
+func TestChaosDropReturnsErrInjected(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Drop: 1}, nil)
+	err := c.Send("peer", Message{Type: "m"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Send under Drop=1 = %v, want ErrInjected", err)
+	}
+	if got := len(inner.sentFrames()); got != 0 {
+		t.Fatalf("%d frames reached the wire under Drop=1", got)
+	}
+}
+
+func TestChaosSilentDrop(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Drop: 1, SilentDrop: true}, nil)
+	if err := c.Send("peer", Message{Type: "m"}); err != nil {
+		t.Fatalf("silent drop surfaced error %v", err)
+	}
+	if got := len(inner.sentFrames()); got != 0 {
+		t.Fatalf("%d frames reached the wire under silent Drop=1", got)
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1}, nil)
+	dst := Addr("peer")
+	c.Partition(dst)
+	if err := c.Send(dst, Message{Type: "m"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Send into partition = %v, want ErrInjected", err)
+	}
+	// Other destinations are unaffected.
+	if err := c.Send("other", Message{Type: "m"}); err != nil {
+		t.Fatalf("Send to unpartitioned peer = %v", err)
+	}
+	c.Heal(dst)
+	if err := c.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatalf("Send after Heal = %v", err)
+	}
+	if got := len(inner.sentFrames()); got != 2 {
+		t.Fatalf("%d frames delivered, want 2", got)
+	}
+}
+
+func TestChaosDuplicate(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Duplicate: 1}, nil)
+	if err := c.Send("peer", Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inner.sentFrames()); got != 2 {
+		t.Fatalf("%d frames delivered under Duplicate=1, want 2", got)
+	}
+}
+
+// TestChaosReorder: with Reorder=1 the first message is held and the
+// second overtakes it on the wire.
+func TestChaosReorder(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Reorder: 1}, nil)
+	dst := Addr("peer")
+	if err := c.Send(dst, Message{Type: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inner.sentFrames()); got != 0 {
+		t.Fatalf("held message reached the wire immediately (%d frames)", got)
+	}
+	if err := c.Send(dst, Message{Type: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	frames := inner.sentFrames()
+	if len(frames) != 2 || frames[0].Type != "b" || frames[1].Type != "a" {
+		t.Fatalf("wire order %v, want [b a]", frames)
+	}
+}
+
+// TestChaosReorderFlushesHeld: a held message with no follow-up is flushed
+// by the hold timer rather than lost.
+func TestChaosReorderFlushesHeld(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Reorder: 1}, nil)
+	if err := c.Send("peer", Message{Type: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 1 })
+}
+
+func TestChaosDelay(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Delay: 20 * time.Millisecond}, nil)
+	start := time.Now()
+	if err := c.Send("peer", Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inner.sentFrames()); got != 0 {
+		t.Fatal("delayed message reached the wire immediately")
+	}
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 1 })
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delayed message arrived after %v, want >= ~20ms", elapsed)
+	}
+}

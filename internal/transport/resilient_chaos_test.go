@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResilientThroughChaosEventualDelivery is the resilience soak: 10k
+// control messages pushed through 30% drops plus reordering. Drops surface
+// as errors to the retry pipeline (SilentDrop off), so every message must
+// eventually land; reordering scrambles frame order but cannot lose frames.
+// Run under -race (the CI transport job does).
+func TestResilientThroughChaosEventualDelivery(t *testing.T) {
+	recvTCP, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewResilient(recvTCP, fastResilient())
+	defer recv.Close()
+
+	const n = 10000
+	var mu sync.Mutex
+	seen := make(map[int]bool, n)
+	recv.SetHandler(func(from Addr, msg Message) {
+		seq, err := strconv.Atoi(string(msg.Payload))
+		if err != nil {
+			t.Errorf("bad payload %q", msg.Payload)
+			return
+		}
+		mu.Lock()
+		seen[seq] = true // retries may duplicate; distinct coverage is the contract
+		mu.Unlock()
+	})
+
+	sendTCP, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaos(sendTCP, ChaosConfig{Seed: 42, Drop: 0.3, Reorder: 0.2}, nil)
+	retriesBefore := telResRetries.Value()
+	sender := NewResilient(chaos, ResilientConfig{
+		QueueLen:     2 * n,
+		RetryBase:    time.Millisecond,
+		RetryMax:     10 * time.Millisecond,
+		MaxRetries:   20,
+		SendDeadline: time.Minute,
+		// The soak is about retries, not fail-fast: a 30% drop rate will
+		// exhaust some batches, and that must not wedge the whole run.
+		Breaker: BreakerConfig{FailureThreshold: 1 << 30, OpenTimeout: time.Second},
+	})
+	defer sender.Close()
+
+	dst := recv.Addr()
+	for i := 0; i < n; i++ {
+		if err := sender.Send(dst, Message{Type: "soak", Payload: []byte(strconv.Itoa(i))}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		mu.Lock()
+		got := len(seen)
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("eventual delivery stalled: %d/%d distinct messages", got, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if telResRetries.Value() == retriesBefore {
+		t.Fatal("30% drop produced zero retries — chaos faults never reached the retry pipeline")
+	}
+}
+
+// TestResilientBreakerLifecycleOverPartition walks the breaker through its
+// full state machine: a partition drives it closed→open, Send fails fast,
+// healing plus the open-timeout admits a half-open probe, and the probe's
+// success closes it again. Transitions are observed via OnBreakerChange.
+func TestResilientBreakerLifecycleOverPartition(t *testing.T) {
+	inner := newFakeEP()
+	chaos := NewChaos(inner, ChaosConfig{Seed: 7}, nil)
+
+	var mu sync.Mutex
+	var transitions []BreakerState
+	cfg := ResilientConfig{
+		RetryBase:  time.Millisecond,
+		RetryMax:   2 * time.Millisecond,
+		MaxRetries: 1,
+		// A roomy open window so the fail-fast assertion below cannot race
+		// the window expiring under a slow -race scheduler.
+		Breaker: BreakerConfig{FailureThreshold: 2, OpenTimeout: 300 * time.Millisecond},
+		OnBreakerChange: func(peer Addr, state BreakerState) {
+			mu.Lock()
+			transitions = append(transitions, state)
+			mu.Unlock()
+		},
+	}
+	r := NewResilient(chaos, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	chaos.Partition(dst)
+
+	// Feed sends until repeated batch exhaustion opens the breaker. One
+	// message at a time, with a pause, so each flush fails on its own and
+	// the queue is empty once the breaker opens.
+	waitFor(t, func() bool {
+		if r.State(dst) == BreakerOpen {
+			return true
+		}
+		r.Send(dst, Message{Type: "m"})
+		time.Sleep(5 * time.Millisecond)
+		return r.State(dst) == BreakerOpen
+	})
+
+	// While open (and inside the window), sends must fail fast.
+	if err := r.Send(dst, Message{Type: "m"}); err != ErrPeerDown {
+		t.Fatalf("Send with open breaker = %v, want ErrPeerDown", err)
+	}
+
+	chaos.Heal(dst)
+	time.Sleep(cfg.Breaker.OpenTimeout + 20*time.Millisecond)
+
+	// The next Send is admitted as the half-open probe; its success closes
+	// the breaker.
+	if err := r.Send(dst, Message{Type: "probe"}); err != nil {
+		t.Fatalf("probe send = %v", err)
+	}
+	waitFor(t, func() bool { return r.State(dst) == BreakerClosed })
+	waitFor(t, func() bool { return len(inner.sentFrames()) >= 1 })
+
+	// The observer saw the full lifecycle, in order.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(transitions) >= 3
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	for i, st := range want {
+		if transitions[i] != st {
+			t.Fatalf("transition[%d] = %v, want %v (all: %v)", i, transitions[i], st, transitions)
+		}
+	}
+}

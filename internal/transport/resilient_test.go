@@ -1,0 +1,327 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeEP is a controllable inner endpoint: it can fail the next N sends,
+// gate sends on a channel, and records every frame and DropConn call.
+type fakeEP struct {
+	addr  Addr
+	enter chan struct{} // when non-nil, each Send signals entry here first
+	gate  chan struct{} // when non-nil, each Send then consumes one token
+
+	mu       sync.Mutex
+	frames   []Message
+	fails    int
+	attempts int
+	dropped  []Addr
+	handler  Handler
+}
+
+func newFakeEP() *fakeEP { return &fakeEP{addr: "fake://0"} }
+
+func (f *fakeEP) Addr() Addr { return f.addr }
+
+func (f *fakeEP) Send(to Addr, msg Message) error {
+	if f.enter != nil {
+		f.enter <- struct{}{}
+	}
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	if f.fails != 0 {
+		if f.fails > 0 {
+			f.fails--
+		}
+		return fmt.Errorf("fake: injected send failure to %s", to)
+	}
+	f.frames = append(f.frames, msg)
+	return nil
+}
+
+func (f *fakeEP) SetHandler(h Handler)     { f.mu.Lock(); f.handler = h; f.mu.Unlock() }
+func (f *fakeEP) SetDropHandler(h Handler) {}
+func (f *fakeEP) Close() error             { return nil }
+
+func (f *fakeEP) DropConn(to Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropped = append(f.dropped, to)
+}
+
+func (f *fakeEP) sentFrames() []Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Message(nil), f.frames...)
+}
+
+func (f *fakeEP) sendAttempts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts
+}
+
+func (f *fakeEP) droppedConns() []Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Addr(nil), f.dropped...)
+}
+
+// setFails arms the next n sends to fail (-1: fail forever).
+func (f *fakeEP) setFails(n int) {
+	f.mu.Lock()
+	f.fails = n
+	f.mu.Unlock()
+}
+
+// fastResilient is a config with millisecond-scale retries for tests.
+func fastResilient() ResilientConfig {
+	return ResilientConfig{
+		RetryBase: time.Millisecond,
+		RetryMax:  4 * time.Millisecond,
+	}
+}
+
+// TestResilientDeliveryAndOrderOverTCP runs the full pipeline over a real
+// loopback socket pair: every control message arrives exactly once and in
+// send order when nothing fails.
+func TestResilientDeliveryAndOrderOverTCP(t *testing.T) {
+	a, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewResilient(a, fastResilient())
+	rb := NewResilient(b, fastResilient())
+	defer ra.Close()
+	defer rb.Close()
+
+	var mu sync.Mutex
+	var got []int
+	rb.SetHandler(func(from Addr, msg Message) {
+		seq, err := strconv.Atoi(string(msg.Payload))
+		if err != nil {
+			t.Errorf("bad payload %q", msg.Payload)
+			return
+		}
+		mu.Lock()
+		got = append(got, seq)
+		mu.Unlock()
+	})
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := ra.Send(rb.Addr(), Message{Type: "seq", Payload: []byte(strconv.Itoa(i))}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("received %d messages, want %d", len(got), n)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("out of order at %d: got seq %d", i, seq)
+		}
+	}
+}
+
+// TestResilientBatching blocks the inner endpoint on the first frame so the
+// queue backs up, then checks the backlog went out as one coalesced frame.
+func TestResilientBatching(t *testing.T) {
+	inner := newFakeEP()
+	inner.enter = make(chan struct{}, 4)
+	inner.gate = make(chan struct{})
+	r := NewResilient(inner, fastResilient())
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m", Payload: []byte("0")}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the sender goroutine is inside inner.Send with frame 0 —
+	// it collected its batch (just message 0) before calling Send, so
+	// everything below queues behind it.
+	<-inner.enter
+	const backlog = 10
+	for i := 1; i <= backlog; i++ {
+		if err := r.Send(dst, Message{Type: "m", Payload: []byte(strconv.Itoa(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(inner.gate)
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 2 })
+
+	frames := inner.sentFrames()
+	if frames[0].Type != "m" {
+		t.Fatalf("first frame type %q, want bare message", frames[0].Type)
+	}
+	if frames[1].Type != batchType {
+		t.Fatalf("second frame type %q, want %q", frames[1].Type, batchType)
+	}
+	// Round-trip the envelope through a receiving Resilient's handler.
+	recvInner := newFakeEP()
+	recv := NewResilient(recvInner, fastResilient())
+	defer recv.Close()
+	var unpacked []Message
+	recv.SetHandler(func(from Addr, msg Message) { unpacked = append(unpacked, msg) })
+	recvInner.mu.Lock()
+	h := recvInner.handler
+	recvInner.mu.Unlock()
+	h("someone", frames[1])
+	if len(unpacked) != backlog {
+		t.Fatalf("unpacked %d messages from batch, want %d", len(unpacked), backlog)
+	}
+	for i, m := range unpacked {
+		if string(m.Payload) != strconv.Itoa(i+1) {
+			t.Fatalf("batch order broken at %d: payload %q", i, m.Payload)
+		}
+	}
+}
+
+// TestResilientRetriesTransientFailure arms two failures; the pipeline must
+// retry past them and deliver without tripping the breaker.
+func TestResilientRetriesTransientFailure(t *testing.T) {
+	inner := newFakeEP()
+	inner.setFails(2)
+	cfg := fastResilient()
+	cfg.MaxRetries = 5
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 1 })
+	if got := inner.sendAttempts(); got != 3 {
+		t.Fatalf("send attempts = %d, want 3 (2 failures + 1 success)", got)
+	}
+	if st := r.State(dst); st != BreakerClosed {
+		t.Fatalf("breaker %v after recovered send, want closed", st)
+	}
+}
+
+// TestResilientBreakerFailFast drives a peer to exhaustion: the breaker
+// opens, Send fails fast with ErrPeerDown, and the peer shows up sick.
+func TestResilientBreakerFailFast(t *testing.T) {
+	inner := newFakeEP()
+	inner.setFails(-1)
+	cfg := fastResilient()
+	cfg.MaxRetries = 1
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour}
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.State(dst) == BreakerOpen })
+
+	err := r.Send(dst, Message{Type: "m"})
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("Send with open breaker = %v, want ErrPeerDown", err)
+	}
+	sick := r.SickPeers()
+	if len(sick) != 1 || sick[0] != dst {
+		t.Fatalf("SickPeers = %v, want [%s]", sick, dst)
+	}
+}
+
+// TestResilientDatagramNotRetried sends a loss-tolerant datagram into a
+// failing endpoint: exactly one attempt, no retries, breaker untouched.
+func TestResilientDatagramNotRetried(t *testing.T) {
+	inner := newFakeEP()
+	inner.setFails(-1)
+	cfg := fastResilient()
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour}
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "d", Datagram: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return inner.sendAttempts() == 1 })
+	time.Sleep(20 * time.Millisecond) // would be plenty for a retry
+	if got := inner.sendAttempts(); got != 1 {
+		t.Fatalf("datagram attempted %d times, want 1", got)
+	}
+	if st := r.State(dst); st != BreakerClosed {
+		t.Fatalf("breaker %v after datagram loss, want closed", st)
+	}
+}
+
+// TestResilientIdleReap lets a quiet peer expire: its sender goroutine
+// retires and the pooled inner connection is dropped, then the next Send
+// recreates the pipeline transparently.
+func TestResilientIdleReap(t *testing.T) {
+	inner := newFakeEP()
+	cfg := fastResilient()
+	cfg.IdleTimeout = 20 * time.Millisecond
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(inner.droppedConns()) == 1 })
+	if states := r.PeerStates(); len(states) != 0 {
+		t.Fatalf("peer still tracked after reap: %v", states)
+	}
+	// The peer must come back on demand.
+	if err := r.Send(dst, Message{Type: "m2"}); err != nil {
+		t.Fatalf("send after reap: %v", err)
+	}
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 2 })
+}
+
+// TestResilientQueueFull fills a tiny queue behind a gated endpoint and
+// checks overflow surfaces as ErrBacklog.
+func TestResilientQueueFull(t *testing.T) {
+	inner := newFakeEP()
+	inner.gate = make(chan struct{})
+	cfg := fastResilient()
+	cfg.QueueLen = 2
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+	defer close(inner.gate)
+
+	dst := Addr("peer")
+	// First send is pulled by the sender goroutine and blocks in the gate;
+	// give it a moment so the queue slots below are truly free.
+	if err := r.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	sawBacklog := false
+	for i := 0; i < 4; i++ {
+		if err := r.Send(dst, Message{Type: "m"}); errors.Is(err, ErrBacklog) {
+			sawBacklog = true
+			break
+		}
+	}
+	if !sawBacklog {
+		t.Fatal("overfilled queue never returned ErrBacklog")
+	}
+}

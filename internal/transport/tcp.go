@@ -3,45 +3,74 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrameSize bounds a single wire frame (guards against corrupt length
 // prefixes).
 const maxFrameSize = 16 << 20
 
-// tcpFrame is the on-the-wire frame: a 4-byte big-endian length followed
-// by this JSON document.
-type tcpFrame struct {
-	From Addr    `json:"from"`
-	Msg  Message `json:"msg"`
+// The on-the-wire frame is a 4-byte big-endian length followed by the
+// binary frame body defined in wire.go.
+
+// TCPConfig tunes a TCP endpoint's connection pool. The zero value
+// selects the defaults noted on each field.
+type TCPConfig struct {
+	// WriteTimeout bounds each frame write so one stalled peer cannot
+	// wedge the sender forever; an expired write drops the pooled
+	// connection (default 10s, negative disables).
+	WriteTimeout time.Duration
+	// IdleTimeout is how long an unused pooled outbound connection
+	// survives before the reaper closes it; the next Send re-dials on
+	// demand (default 2m, negative disables reaping).
+	IdleTimeout time.Duration
+}
+
+func (c *TCPConfig) defaults() {
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
 }
 
 // TCPEndpoint is a transport endpoint over real TCP sockets. Outbound
-// connections are cached per destination; inbound frames are delivered
-// from per-connection reader goroutines, so the handler must be safe for
+// connections are pooled per destination, re-dialed on demand, and reaped
+// after IdleTimeout of disuse; inbound frames are delivered from
+// per-connection reader goroutines, so the handler must be safe for
 // concurrent invocation (the live runtime serializes onto an actor loop).
 type TCPEndpoint struct {
 	listener net.Listener
 	addr     Addr
+	cfg      TCPConfig
 
 	mu          sync.Mutex
 	conns       map[Addr]net.Conn
+	lastUse     map[Addr]time.Time
 	allConns    map[net.Conn]bool
 	handler     Handler
 	dropHandler Handler
 	closed      bool
+	done        chan struct{}
 	wg          sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
 
 // NewTCP binds a TCP endpoint on listenAddr ("host:port"; port 0 picks a
-// free port). The returned endpoint's Addr is the actual bound address.
+// free port) with default pool tuning. The returned endpoint's Addr is
+// the actual bound address.
 func NewTCP(listenAddr string) (*TCPEndpoint, error) {
+	return NewTCPWithConfig(listenAddr, TCPConfig{})
+}
+
+// NewTCPWithConfig binds a TCP endpoint with explicit pool tuning.
+func NewTCPWithConfig(listenAddr string, cfg TCPConfig) (*TCPEndpoint, error) {
+	cfg.defaults()
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
@@ -49,11 +78,18 @@ func NewTCP(listenAddr string) (*TCPEndpoint, error) {
 	e := &TCPEndpoint{
 		listener: ln,
 		addr:     Addr(ln.Addr().String()),
+		cfg:      cfg,
 		conns:    make(map[Addr]net.Conn),
+		lastUse:  make(map[Addr]time.Time),
 		allConns: make(map[net.Conn]bool),
+		done:     make(chan struct{}),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
+	if cfg.IdleTimeout > 0 {
+		e.wg.Add(1)
+		go e.reapLoop()
+	}
 	return e, nil
 }
 
@@ -106,35 +142,72 @@ func (e *TCPEndpoint) Send(to Addr, msg Message) error {
 			go e.readLoop(c)
 		}
 	}
-	body, err := json.Marshal(tcpFrame{From: e.addr, Msg: msg})
-	if err != nil {
-		return err
-	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	// Build the length prefix and frame body in one buffer so the frame
+	// goes out in a single write.
+	frame := make([]byte, 4, 4+2+len(e.addr)+msg.WireSize())
+	frame = appendTCPFrame(frame, e.addr, msg)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	if _, err := conn.Write(prefix[:]); err != nil {
-		e.dropConnLocked(to, conn)
-		return err
+	e.lastUse[to] = time.Now()
+	if e.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
 	}
-	if _, err := conn.Write(body); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		e.dropConnLocked(to, conn)
 		return err
 	}
 	telTCPOut.Inc()
-	telTCPOutBytes.Add(uint64(len(prefix) + len(body)))
+	telTCPOutBytes.Add(uint64(len(frame)))
 	return nil
 }
 
 func (e *TCPEndpoint) dropConnLocked(to Addr, conn net.Conn) {
 	if e.conns[to] == conn {
 		delete(e.conns, to)
+		delete(e.lastUse, to)
 	}
 	conn.Close()
+}
+
+// DropConn closes the pooled outbound connection to the destination (if
+// any); the next Send re-dials on demand. The Resilient wrapper calls it
+// when it reaps an idle peer.
+func (e *TCPEndpoint) DropConn(to Addr) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if conn, ok := e.conns[to]; ok {
+		e.dropConnLocked(to, conn)
+	}
+}
+
+// reapLoop closes pooled outbound connections unused for IdleTimeout.
+func (e *TCPEndpoint) reapLoop() {
+	defer e.wg.Done()
+	interval := e.cfg.IdleTimeout / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			cutoff := time.Now().Add(-e.cfg.IdleTimeout)
+			e.mu.Lock()
+			for to, conn := range e.conns {
+				if e.lastUse[to].Before(cutoff) {
+					e.dropConnLocked(to, conn)
+				}
+			}
+			e.mu.Unlock()
+		case <-e.done:
+			return
+		}
+	}
 }
 
 // Close shuts the listener and every connection down and waits for reader
@@ -146,11 +219,13 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	close(e.done)
 	err := e.listener.Close()
 	for c := range e.allConns {
 		c.Close()
 	}
 	e.conns = map[Addr]net.Conn{}
+	e.lastUse = map[Addr]time.Time{}
 	e.allConns = map[net.Conn]bool{}
 	e.mu.Unlock()
 	e.wg.Wait()
@@ -200,8 +275,8 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := readFull(r, body); err != nil {
 			return
 		}
-		var frame tcpFrame
-		if err := json.Unmarshal(body, &frame); err != nil {
+		from, msg, err := readTCPFrame(body)
+		if err != nil {
 			continue
 		}
 		telTCPIn.Inc()
@@ -214,7 +289,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			return
 		}
 		if h != nil {
-			h(frame.From, frame.Msg)
+			h(from, msg)
 		}
 	}
 }

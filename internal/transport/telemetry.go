@@ -35,3 +35,39 @@ var (
 	telMemOutBytes  = telBytes.With("mem", "out")
 	telMemSendFails = telConnectErrors.With("mem")
 )
+
+// Resilience-pipeline telemetry: queue, batching, retry and breaker
+// visibility for the Resilient endpoint, plus injected-fault counters for
+// the Chaos wrapper.
+var (
+	telResQueueDepth = telemetry.Default().Gauge(
+		"rasc_transport_queue_depth",
+		"Messages currently queued across all peer send queues.")
+	telResBatchSize = telemetry.Default().Histogram(
+		"rasc_transport_batch_size",
+		"Control messages coalesced per flushed wire frame.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	telResSendLatency = telemetry.Default().Histogram(
+		"rasc_transport_send_latency_seconds",
+		"Enqueue-to-delivery latency through the resilient pipeline.",
+		nil)
+	telResRetries = telemetry.Default().Counter(
+		"rasc_transport_retries_total",
+		"Batch send retries after transient failures.")
+	telResDropped = telemetry.Default().CounterVec(
+		"rasc_transport_dropped_total",
+		"Messages dropped by the resilient pipeline, by cause.",
+		"cause")
+	telResBreakerPeers = telemetry.Default().GaugeVec(
+		"rasc_transport_breaker_peers",
+		"Tracked peers by circuit-breaker state.",
+		"state")
+	telResBreakerTransitions = telemetry.Default().CounterVec(
+		"rasc_transport_breaker_transitions_total",
+		"Circuit-breaker transitions, by state entered.",
+		"state")
+	telChaosInjected = telemetry.Default().CounterVec(
+		"rasc_transport_chaos_injected_total",
+		"Faults injected by the chaos wrapper, by kind.",
+		"fault")
+)

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTransportMetricsCatalogue pins the rasc_transport_* family catalogue
+// (# HELP / # TYPE lines) exposed on /metrics. Values are process-global
+// and order-dependent across tests, so the golden captures the catalogue,
+// not samples.
+func TestTransportMetricsCatalogue(t *testing.T) {
+	// Materialize the breaker-state series: drive one peer's breaker open
+	// through a hopeless endpoint.
+	inner := newFakeEP()
+	inner.setFails(-1)
+	cfg := fastResilient()
+	cfg.MaxRetries = 1
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour}
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+	if err := r.Send("peer", Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.State("peer") == BreakerOpen })
+	// And one injected fault, so the chaos counter family has a child.
+	c := NewChaos(newFakeEP(), ChaosConfig{Seed: 1, Drop: 1}, nil)
+	c.Send("peer", Message{Type: "m"})
+
+	var got strings.Builder
+	for _, line := range strings.Split(telemetry.Default().String(), "\n") {
+		if strings.HasPrefix(line, "# HELP rasc_transport_") || strings.HasPrefix(line, "# TYPE rasc_transport_") {
+			got.WriteString(line)
+			got.WriteString("\n")
+		}
+	}
+	path := filepath.Join("testdata", "transport_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("transport catalogue mismatch\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+
+	// Breaker and chaos series must be visible with their labels.
+	exp := telemetry.Default().String()
+	for _, series := range []string{
+		`rasc_transport_breaker_peers{state="closed"}`,
+		`rasc_transport_breaker_peers{state="open"}`,
+		`rasc_transport_breaker_transitions_total{state="open"}`,
+		`rasc_transport_dropped_total{cause="retries-exhausted"}`,
+		`rasc_transport_chaos_injected_total{fault="drop"}`,
+		"rasc_transport_queue_depth",
+		"rasc_transport_batch_size_bucket",
+		"rasc_transport_send_latency_seconds_bucket",
+		"rasc_transport_retries_total",
+	} {
+		if !strings.Contains(exp, series) {
+			t.Errorf("/metrics missing series %q", series)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The TCP transport and the Resilient batch envelope share a compact
+// binary message encoding — the control hot path moves enough small frames
+// that JSON marshalling (and base64 for nested payloads) dominated CPU:
+//
+//	u16 type len | type | u32 payload len | payload | u32 pad | u8 flags
+//
+// A TCP wire frame prefixes the sender address (u16 len | addr) and a
+// batch envelope is simply messages back to back.
+
+// errMalformedFrame reports a wire frame that fails structural validation.
+var errMalformedFrame = errors.New("transport: malformed wire frame")
+
+const flagDatagram = 1 << 0
+
+// appendMessage appends msg in wire form.
+func appendMessage(buf []byte, msg Message) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg.Type)))
+	buf = append(buf, msg.Type...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(msg.Payload)))
+	buf = append(buf, msg.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(msg.Pad))
+	var flags byte
+	if msg.Datagram {
+		flags |= flagDatagram
+	}
+	return append(buf, flags)
+}
+
+// readMessage decodes one message from buf and returns the remainder. The
+// decoded payload aliases buf, which callers must not reuse.
+func readMessage(buf []byte) (Message, []byte, error) {
+	var msg Message
+	if len(buf) < 2 {
+		return msg, nil, errMalformedFrame
+	}
+	tlen := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < tlen {
+		return msg, nil, errMalformedFrame
+	}
+	msg.Type = string(buf[:tlen])
+	buf = buf[tlen:]
+	if len(buf) < 4 {
+		return msg, nil, errMalformedFrame
+	}
+	plen := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if plen > maxFrameSize || len(buf) < plen {
+		return msg, nil, errMalformedFrame
+	}
+	if plen > 0 {
+		msg.Payload = buf[:plen:plen]
+	}
+	buf = buf[plen:]
+	if len(buf) < 5 {
+		return msg, nil, errMalformedFrame
+	}
+	msg.Pad = int(binary.BigEndian.Uint32(buf))
+	msg.Datagram = buf[4]&flagDatagram != 0
+	return msg, buf[5:], nil
+}
+
+// appendTCPFrame appends a full TCP frame body (sender address + message);
+// the 4-byte length prefix is the caller's.
+func appendTCPFrame(buf []byte, from Addr, msg Message) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(from)))
+	buf = append(buf, from...)
+	return appendMessage(buf, msg)
+}
+
+// readTCPFrame decodes a full TCP frame body.
+func readTCPFrame(buf []byte) (Addr, Message, error) {
+	if len(buf) < 2 {
+		return "", Message{}, errMalformedFrame
+	}
+	alen := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < alen {
+		return "", Message{}, errMalformedFrame
+	}
+	from := Addr(buf[:alen])
+	msg, rest, err := readMessage(buf[alen:])
+	if err != nil {
+		return "", Message{}, err
+	}
+	if len(rest) != 0 {
+		return "", Message{}, errMalformedFrame
+	}
+	return from, msg, nil
+}
+
+// appendBatch packs the control messages of a collected batch into one
+// envelope payload.
+func appendBatch(buf []byte, ctrl []queuedMsg) []byte {
+	for _, qm := range ctrl {
+		buf = appendMessage(buf, qm.msg)
+	}
+	return buf
+}
+
+// readBatch unpacks an envelope payload, invoking fn per message in pack
+// order. A truncated envelope delivers the intact prefix and stops.
+func readBatch(buf []byte, fn func(Message)) {
+	for len(buf) > 0 {
+		msg, rest, err := readMessage(buf)
+		if err != nil {
+			return
+		}
+		fn(msg)
+		buf = rest
+	}
+}

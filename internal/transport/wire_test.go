@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWireMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{},
+		{Type: "ping"},
+		{Type: "data", Payload: []byte("hello"), Pad: 4096, Datagram: true},
+		{Type: "big", Payload: bytes.Repeat([]byte{0xAB}, 70_000)},
+	}
+	for _, want := range cases {
+		buf := appendMessage(nil, want)
+		got, rest, err := readMessage(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %+v left %d trailing bytes", want, len(rest))
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) ||
+			got.Pad != want.Pad || got.Datagram != want.Datagram {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestWireTCPFrameRoundTrip(t *testing.T) {
+	msg := Message{Type: "rpc", Payload: []byte("body"), Pad: 7}
+	buf := appendTCPFrame(nil, "10.0.0.1:9999", msg)
+	from, got, err := readTCPFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "10.0.0.1:9999" || got.Type != "rpc" || string(got.Payload) != "body" || got.Pad != 7 {
+		t.Fatalf("round trip: from=%s msg=%+v", from, got)
+	}
+}
+
+func TestWireTruncatedFrameRejected(t *testing.T) {
+	full := appendTCPFrame(nil, "a:1", Message{Type: "x", Payload: []byte("yz")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := readTCPFrame(full[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	// Trailing garbage is as malformed as missing bytes.
+	if _, _, err := readTCPFrame(append(append([]byte(nil), full...), 0x00)); err == nil {
+		t.Fatal("frame with trailing bytes decoded cleanly")
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	ctrl := []queuedMsg{
+		{msg: Message{Type: "a", Payload: []byte("1")}},
+		{msg: Message{Type: "b", Pad: 10}},
+		{msg: Message{Type: "c", Payload: []byte("333"), Datagram: true}},
+	}
+	var got []Message
+	readBatch(appendBatch(nil, ctrl), func(m Message) { got = append(got, m) })
+	if len(got) != len(ctrl) {
+		t.Fatalf("unpacked %d messages, want %d", len(got), len(ctrl))
+	}
+	for i, m := range got {
+		w := ctrl[i].msg
+		if m.Type != w.Type || !bytes.Equal(m.Payload, w.Payload) || m.Pad != w.Pad || m.Datagram != w.Datagram {
+			t.Fatalf("batch[%d]: got %+v, want %+v", i, m, w)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package rasc
+
+import (
+	"fmt"
+
+	"rasc.dev/rasc/internal/transport"
+)
+
+// ChaosConfig parameterizes transport fault injection — probabilistic
+// drops, delays, duplicates and reordering, all driven from a seeded
+// source so runs stay reproducible. Enable it with WithChaos; partitions
+// are cut and healed at runtime through System.Partition and System.Heal.
+type ChaosConfig = transport.ChaosConfig
+
+// Option customizes a simulated deployment built by New.
+type Option func(*Options)
+
+// WithNodes sets the deployment size (default 32, the paper's testbed).
+func WithNodes(n int) Option { return func(o *Options) { o.Nodes = n } }
+
+// WithSeed seeds the deployment; every run on the same seed is identical.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithCatalog selects the service catalog (default StandardCatalog()).
+func WithCatalog(c Catalog) Option { return func(o *Options) { o.Catalog = c } }
+
+// WithServicesPerNode sets how many catalog services each node offers
+// (default 5, matching the paper's setup).
+func WithServicesPerNode(n int) Option { return func(o *Options) { o.ServicesPerNode = n } }
+
+// WithLinkCapacity bounds per-node access-link capacity in bits/sec
+// (default 150 Kbps – 1.2 Mbps, the calibrated experiment range).
+func WithLinkCapacity(minBps, maxBps float64) Option {
+	return func(o *Options) { o.MinBps, o.MaxBps = minBps, maxBps }
+}
+
+// WithSchedPolicy selects the per-node data-unit scheduler: "llf"
+// (least-laxity-first, the default), "edf" or "fifo".
+func WithSchedPolicy(policy string) Option { return func(o *Options) { o.SchedPolicy = policy } }
+
+// WithGossip toggles the SWIM-style membership protocol on every node:
+// service lookups answered from the converged view, composition reading
+// gossip-disseminated monitoring digests, and detected node deaths
+// triggering immediate recomposition at the origins.
+func WithGossip(enabled bool) Option { return func(o *Options) { o.EnableGossip = enabled } }
+
+// WithChaos wraps every node's transport endpoint with seeded fault
+// injection. Each node derives its own deterministic seed from the
+// deployment seed, and injected delays run on virtual time, so chaotic
+// deployments remain exactly reproducible. Partitions are managed at
+// runtime with System.Partition, System.Heal and System.HealAll.
+func WithChaos(cfg ChaosConfig) Option { return func(o *Options) { o.Chaos = &cfg } }
+
+// New builds a deterministic simulated RASC deployment: N overlay nodes
+// joined through Pastry over a PlanetLab-like wide-area network model,
+// services registered in the DHT, a stream engine on every node. Options
+// override the paper's defaults:
+//
+//	sys := rasc.New(rasc.WithNodes(16), rasc.WithSeed(7), rasc.WithGossip(true))
+func New(opts ...Option) *System {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newSystem(o)
+}
+
+// chaosAt returns node i's fault injector, panicking with a clear message
+// when the deployment was built without WithChaos (a programming error,
+// like submitting from a nonexistent origin).
+func (s *System) chaosAt(i int) *transport.Chaos {
+	if s.d.Chaos == nil {
+		panic("rasc: fault injection requires WithChaos")
+	}
+	if i < 0 || i >= len(s.d.Chaos) {
+		panic(fmt.Sprintf("rasc: node %d outside deployment of %d nodes", i, len(s.d.Chaos)))
+	}
+	return s.d.Chaos[i]
+}
+
+// Partition cuts nodes i and j off from each other in both directions.
+// Control and data traffic between them fails immediately (as a broken
+// link would); traffic to every other node is untouched. Requires
+// WithChaos.
+func (s *System) Partition(i, j int) {
+	s.chaosAt(i).Partition(s.d.Nodes[j].Addr())
+	s.chaosAt(j).Partition(s.d.Nodes[i].Addr())
+}
+
+// Heal reconnects nodes i and j after a Partition. Requires WithChaos.
+func (s *System) Heal(i, j int) {
+	s.chaosAt(i).Heal(s.d.Nodes[j].Addr())
+	s.chaosAt(j).Heal(s.d.Nodes[i].Addr())
+}
+
+// HealAll removes every partition in the deployment. Requires WithChaos.
+func (s *System) HealAll() {
+	if s.d.Chaos == nil {
+		panic("rasc: fault injection requires WithChaos")
+	}
+	for _, c := range s.d.Chaos {
+		c.HealAll()
+	}
+}

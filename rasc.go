@@ -21,6 +21,8 @@
 package rasc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -58,18 +60,9 @@ func StandardCatalog() Catalog { return services.Standard() }
 // composer.
 func ExtendedCatalog() Catalog { return services.Extended() }
 
-// Composer names accepted by Submit.
-const (
-	ComposerMinCost        = "mincost"
-	ComposerMinCostNoSplit = "mincost-nosplit"
-	ComposerMinCostCPU     = "mincost-cpu" // multi-resource: bandwidth + CPU
-	ComposerGreedy         = "greedy"
-	ComposerRandom         = "random"
-	ComposerLP             = "lp"
-	ComposerLPCPU          = "lp-cpu"
-)
-
-// Options configures a simulated RASC deployment.
+// Options configures a simulated RASC deployment. New code should prefer
+// New with functional options; Options remains for callers that assemble
+// configuration as a value.
 type Options struct {
 	// Nodes is the deployment size (default 32, the paper's testbed).
 	Nodes int
@@ -92,6 +85,9 @@ type Options struct {
 	// fetching per-host snapshots, and a detected node death immediately
 	// re-composes the applications placed on it.
 	EnableGossip bool
+	// Chaos, when set, wraps every node's transport endpoint with seeded
+	// fault injection (see WithChaos).
+	Chaos *ChaosConfig
 }
 
 // System is a running simulated RASC deployment.
@@ -99,10 +95,17 @@ type System struct {
 	d *deploy.System
 }
 
-// NewSimulated builds a deterministic simulated deployment: N overlay
-// nodes joined through Pastry, services registered in the DHT, a stream
-// engine on every node.
-func NewSimulated(opts Options) *System {
+// NewSimulated builds a deterministic simulated deployment from an Options
+// value.
+//
+// Deprecated: use New with functional options — rasc.New(rasc.WithNodes(16),
+// rasc.WithSeed(7)) — which is extensible without breaking callers.
+// NewSimulated remains as a thin shim over the same construction path.
+func NewSimulated(opts Options) *System { return newSystem(opts) }
+
+// newSystem is the single construction path behind New and NewSimulated:
+// it applies the paper's defaults and assembles the deployment.
+func newSystem(opts Options) *System {
 	if opts.Nodes == 0 {
 		opts.Nodes = 32
 	}
@@ -129,6 +132,7 @@ func NewSimulated(opts Options) *System {
 		ProcJitter:       0.2,
 		HeterogeneousCPU: true,
 		EnableGossip:     opts.EnableGossip,
+		Chaos:            opts.Chaos,
 		// The default 300ms probe timeout sits below the topology's worst
 		// inter-site RTT (~330ms); 500ms keeps healthy members from being
 		// falsely suspected.
@@ -171,16 +175,37 @@ func (c *Composition) Placements() []core.Placement { return c.Graph.Placements 
 func (c *Composition) NumHosts() int { return core.NumHosts(c.Graph) }
 
 // Submit composes and starts a request from the given origin node using
-// the named composer, advancing virtual time until composition completes.
+// the given composer, advancing virtual time until composition completes.
 // On success the application is streaming; observe it with Run and
-// DeliveryStats.
-func (s *System) Submit(origin int, req Request, composer string) (*Composition, error) {
+// DeliveryStats. Equivalent to SubmitContext with context.Background().
+//
+// Failures wrap the facade's sentinel errors — ErrUnknownComposer,
+// ErrUnknownService, ErrNoComposition — so callers branch with errors.Is.
+func (s *System) Submit(origin int, req Request, composer Composer) (*Composition, error) {
+	return s.SubmitContext(context.Background(), origin, req, composer)
+}
+
+// SubmitContext is Submit with cancellation: the loop that advances
+// virtual time while waiting for composition checks ctx between steps and
+// returns ctx.Err() (wrapped) as soon as it is done. Virtual time already
+// spent is not rolled back.
+func (s *System) SubmitContext(ctx context.Context, origin int, req Request, composer Composer) (*Composition, error) {
 	if origin < 0 || origin >= len(s.d.Engines) {
 		return nil, fmt.Errorf("rasc: origin %d outside deployment of %d nodes", origin, len(s.d.Engines))
 	}
-	comp, err := experiment.NewComposer(composer)
-	if err != nil {
+	if _, err := ParseComposer(string(composer)); err != nil {
 		return nil, err
+	}
+	for _, sub := range req.Substreams {
+		for _, name := range sub.Services {
+			if _, ok := s.d.Options.Catalog[name]; !ok {
+				return nil, fmt.Errorf("%w: %q in request %q", ErrUnknownService, name, req.ID)
+			}
+		}
+	}
+	comp, err := experiment.NewComposer(string(composer))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownComposer, composer)
 	}
 	var graph *core.ExecutionGraph
 	var submitErr error
@@ -190,12 +215,18 @@ func (s *System) Submit(origin int, req Request, composer string) (*Composition,
 	})
 	deadline := s.d.Sim.Now() + 60*time.Second
 	for !done && s.d.Sim.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rasc: submission of %s: %w", req.ID, err)
+		}
 		s.d.Sim.RunUntil(s.d.Sim.Now() + 100*time.Millisecond)
 	}
 	if !done {
 		return nil, fmt.Errorf("rasc: submission of %s did not complete", req.ID)
 	}
 	if submitErr != nil {
+		if errors.Is(submitErr, core.ErrNoFeasiblePlacement) {
+			return nil, fmt.Errorf("%w: request %q: %w", ErrNoComposition, req.ID, submitErr)
+		}
 		return nil, submitErr
 	}
 	return &Composition{origin: origin, sys: s, Graph: graph}, nil

@@ -50,10 +50,10 @@ func TestSubmitAndStream(t *testing.T) {
 }
 
 func TestSubmitAllComposers(t *testing.T) {
-	for _, composer := range []string{ComposerMinCost, ComposerMinCostNoSplit, ComposerGreedy, ComposerRandom, ComposerLP} {
+	for _, composer := range []Composer{ComposerMinCost, ComposerMinCostNoSplit, ComposerGreedy, ComposerRandom, ComposerLP} {
 		sys := NewSimulated(Options{Nodes: 12, Seed: 3})
 		req := Request{
-			ID:         "t-" + composer,
+			ID:         "t-" + composer.String(),
 			UnitBytes:  1250,
 			Substreams: []Substream{{Services: []string{"filter"}, Rate: 5}},
 		}
