@@ -107,6 +107,15 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
+// abortProbe releases the half-open probe slot when the admitted probe was
+// dropped before any send attempt (queue full, deadline shed, endpoint
+// closing). No outcome was observed, so the state machine stays where it is
+// and the next admitted send re-claims the slot. No-op when no probe is in
+// flight.
+func (b *breaker) abortProbe() {
+	b.probing = false
+}
+
 // success records a delivered batch.
 func (b *breaker) success() {
 	b.failures = 0

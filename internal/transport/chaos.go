@@ -170,12 +170,17 @@ func (c *Chaos) Send(to Addr, msg Message) error {
 	duplicate := c.cfg.Duplicate > 0 && c.rng.Float64() < c.cfg.Duplicate
 	delay := c.delayLocked()
 	if prev, ok := c.held[to]; ok {
-		// A message is waiting to be overtaken: send the current one
-		// first, then the held one — their order on the wire swaps.
+		// A message is waiting to be overtaken: deliver the current one
+		// first and the held one just behind it, so their wire order
+		// swaps even when a configured Delay postpones both.
 		delete(c.held, to)
 		c.mu.Unlock()
+		heldDelay := time.Duration(0)
+		if delay > 0 {
+			heldDelay = delay + time.Millisecond
+		}
 		err := c.deliver(to, msg, delay, duplicate)
-		c.deliver(to, prev, 0, false)
+		c.deliver(to, prev, heldDelay, false)
 		return err
 	}
 	if c.cfg.Reorder > 0 && c.rng.Float64() < c.cfg.Reorder {

@@ -110,6 +110,26 @@ func TestChaosReorder(t *testing.T) {
 	}
 }
 
+// TestChaosReorderWithDelay: reordering must still swap wire order when a
+// configured Delay postpones delivery — the held message goes out just
+// behind the overtaking one, not ahead of it.
+func TestChaosReorderWithDelay(t *testing.T) {
+	inner := newFakeEP()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Reorder: 1, Delay: 5 * time.Millisecond}, nil)
+	dst := Addr("peer")
+	if err := c.Send(dst, Message{Type: "a"}); err != nil { // held
+		t.Fatal(err)
+	}
+	if err := c.Send(dst, Message{Type: "b"}); err != nil { // overtakes
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(inner.sentFrames()) == 2 })
+	frames := inner.sentFrames()
+	if frames[0].Type != "b" || frames[1].Type != "a" {
+		t.Fatalf("wire order [%s %s], want [b a]", frames[0].Type, frames[1].Type)
+	}
+}
+
 // TestChaosReorderFlushesHeld: a held message with no follow-up is flushed
 // by the hold timer rather than lost.
 func TestChaosReorderFlushesHeld(t *testing.T) {

@@ -96,7 +96,9 @@ type breakerEvent struct {
 // jitter, and trips a circuit breaker after repeated failures so a sick
 // peer fails fast instead of back-pressuring the caller. Datagram-flagged
 // messages ride the same queue but are sent individually and never
-// retried, preserving their loss-tolerant contract.
+// retried, preserving their loss-tolerant contract; because they report no
+// outcome to the breaker they are rejected outright whenever the breaker
+// is not closed, leaving recovery probing to control traffic.
 //
 // Delivery of control messages is at-least-once: a batch whose write
 // succeeded at the transport but was lost before the peer processed it is
@@ -183,11 +185,16 @@ func (r *Resilient) Send(to Addr, msg Message) error {
 		r.peers[to] = p
 	}
 	// Fail fast while the breaker is open; an expired open window admits
-	// this message as the half-open probe. The closed-state fast path
-	// skips allow()'s clock read: reading the clock is the hot path's
+	// this message as the half-open probe. Datagrams never claim the probe
+	// slot: they are sent without retry and never report an outcome to the
+	// breaker, so a datagram probe would leave the slot claimed forever —
+	// any non-closed state rejects them instead. The closed-state fast
+	// path skips allow()'s clock read: reading the clock is the hot path's
 	// single biggest cost and a closed breaker never consults it.
 	p.bmu.Lock()
-	allowed := p.b.state == BreakerClosed || p.b.allow(time.Now())
+	closedBreaker := p.b.state == BreakerClosed
+	allowed := closedBreaker || (!msg.Datagram && p.b.allow(time.Now()))
+	probe := allowed && !closedBreaker
 	p.bmu.Unlock()
 	if !allowed {
 		r.mu.Unlock()
@@ -195,14 +202,24 @@ func (r *Resilient) Send(to Addr, msg Message) error {
 		return ErrPeerDown
 	}
 	// Enqueue under r.mu so the idle reaper (which also holds r.mu)
-	// cannot retire the peer between lookup and enqueue.
+	// cannot retire the peer between lookup and enqueue. The gauge update
+	// also stays under r.mu so Close's drain of abandoned queues cannot
+	// interleave with it.
 	select {
 	case p.q <- queuedMsg{msg: msg, at: time.Now()}:
-		r.mu.Unlock()
 		telResQueueDepth.Inc()
+		r.mu.Unlock()
 		return nil
 	default:
 		r.mu.Unlock()
+		if probe {
+			// The admitted probe was never enqueued; hand the slot back
+			// so the breaker is not stuck waiting for an outcome that can
+			// never arrive.
+			p.bmu.Lock()
+			p.b.abortProbe()
+			p.bmu.Unlock()
+		}
 		telResDropped.With("queue-full").Inc()
 		return ErrBacklog
 	}
@@ -261,10 +278,26 @@ func (r *Resilient) Close() error {
 		return nil
 	}
 	r.closed = true
+	peers := make([]*rpeer, 0, len(r.peers))
+	for _, p := range r.peers {
+		peers = append(peers, p)
+	}
 	r.mu.Unlock()
 	close(r.done)
 	err := r.inner.Close()
 	r.wg.Wait()
+	// The sender goroutines are gone, so whatever is still queued is
+	// abandoned and each peer's breaker state is final. Settle the gauges,
+	// or endpoint churn leaves them permanently inflated.
+	for _, p := range peers {
+		if n := len(p.q); n > 0 {
+			telResQueueDepth.Add(-float64(n))
+		}
+		p.bmu.Lock()
+		st := p.b.state
+		p.bmu.Unlock()
+		telResBreakerPeers.With(st.String()).Dec()
+	}
 	return err
 }
 
@@ -402,6 +435,12 @@ func (r *Resilient) flushCtrl(p *rpeer, rng *rand.Rand, ctrl []queuedMsg) {
 		}
 		ctrl = live
 		if len(ctrl) == 0 {
+			// Everything was shed before a send attempt: no outcome will
+			// reach the breaker, so release the half-open probe slot in
+			// case one of the shed messages had claimed it.
+			p.bmu.Lock()
+			p.b.abortProbe()
+			p.bmu.Unlock()
 			return
 		}
 		err := r.sendCtrl(p.to, ctrl)
@@ -418,6 +457,9 @@ func (r *Resilient) flushCtrl(p *rpeer, rng *rand.Rand, ctrl []queuedMsg) {
 		}
 		if errors.Is(err, ErrClosed) {
 			telResDropped.With("closed").Add(uint64(len(ctrl)))
+			p.bmu.Lock()
+			p.b.abortProbe()
+			p.bmu.Unlock()
 			return
 		}
 		if attempt >= r.cfg.MaxRetries {

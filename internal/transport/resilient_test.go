@@ -296,6 +296,167 @@ func TestResilientIdleReap(t *testing.T) {
 	waitFor(t, func() bool { return len(inner.sentFrames()) == 2 })
 }
 
+// TestResilientDatagramNeverClaimsProbe: with the breaker open past its
+// window, a datagram must be rejected without claiming the half-open probe
+// slot — datagrams never report an outcome to the breaker, so a datagram
+// probe would wedge it half-open forever. Control traffic afterwards still
+// probes and recovers the peer.
+func TestResilientDatagramNeverClaimsProbe(t *testing.T) {
+	inner := newFakeEP()
+	inner.setFails(-1)
+	cfg := fastResilient()
+	cfg.MaxRetries = 1
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenTimeout: 10 * time.Millisecond}
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.State(dst) == BreakerOpen })
+	time.Sleep(3 * cfg.Breaker.OpenTimeout)
+
+	// The open window has expired; a datagram is still rejected and must
+	// not move the breaker to half-open.
+	if err := r.Send(dst, Message{Type: "d", Datagram: true}); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("datagram past the open window = %v, want ErrPeerDown", err)
+	}
+	if st := r.State(dst); st != BreakerOpen {
+		t.Fatalf("breaker %v after rejected datagram, want still open", st)
+	}
+
+	// A control message claims the probe; its success closes the breaker.
+	inner.setFails(0)
+	if err := r.Send(dst, Message{Type: "probe"}); err != nil {
+		t.Fatalf("control probe = %v", err)
+	}
+	waitFor(t, func() bool { return r.State(dst) == BreakerClosed })
+}
+
+// TestResilientProbeReleasedOnBacklog: a Send admitted as the half-open
+// probe that then bounces off a full queue must release the probe slot, or
+// the breaker waits forever for an outcome that can never arrive.
+func TestResilientProbeReleasedOnBacklog(t *testing.T) {
+	inner := newFakeEP()
+	inner.enter = make(chan struct{}, 8)
+	inner.gate = make(chan struct{})
+	cfg := fastResilient()
+	cfg.QueueLen = 1
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Millisecond}
+	r := NewResilient(inner, cfg)
+	defer r.Close()
+	defer close(inner.gate)
+
+	dst := Addr("peer")
+	// Park the sender goroutine inside the inner endpoint, then fill the
+	// one-slot queue behind it.
+	if err := r.Send(dst, Message{Type: "m0"}); err != nil {
+		t.Fatal(err)
+	}
+	<-inner.enter
+	if err := r.Send(dst, Message{Type: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the breaker open with a long-expired window: the next Send is
+	// admitted as the half-open probe and then rejected by the full queue.
+	r.mu.Lock()
+	p := r.peers[dst]
+	r.mu.Unlock()
+	p.bmu.Lock()
+	p.b.failure(time.Now().Add(-time.Hour))
+	p.bmu.Unlock()
+
+	if err := r.Send(dst, Message{Type: "probe"}); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("probe into full queue = %v, want ErrBacklog", err)
+	}
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	if p.b.probing {
+		t.Fatal("backlogged probe left the probe slot claimed")
+	}
+}
+
+// TestResilientProbeReleasedOnDeadlineShed: a probe batch shed entirely by
+// SendDeadline before any send attempt must hand the probe slot back so the
+// next control message can re-probe.
+func TestResilientProbeReleasedOnDeadlineShed(t *testing.T) {
+	inner := newFakeEP()
+	r := NewResilient(inner, fastResilient())
+	defer r.Close()
+
+	dst := Addr("peer")
+	r.mu.Lock()
+	p := r.newPeer(dst)
+	r.peers[dst] = p
+	r.mu.Unlock()
+
+	// Drive the breaker to half-open with the probe slot claimed.
+	p.bmu.Lock()
+	for i := 0; i < p.b.cfg.FailureThreshold; i++ {
+		p.b.failure(time.Now().Add(-time.Hour))
+	}
+	admitted := p.b.allow(time.Now())
+	p.bmu.Unlock()
+	if !admitted {
+		t.Fatal("expired open window refused the probe")
+	}
+
+	// The probe's own time budget ran out while queued: flushCtrl sheds it
+	// without a send attempt.
+	expired := []queuedMsg{{msg: Message{Type: "probe"}, at: time.Now().Add(-r.cfg.SendDeadline - time.Second)}}
+	r.flushCtrl(p, r.newJitterRand(dst), expired)
+
+	if got := inner.sendAttempts(); got != 0 {
+		t.Fatalf("shed batch reached the wire (%d attempts)", got)
+	}
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	if p.b.probing {
+		t.Fatal("deadline-shed probe left the probe slot claimed")
+	}
+	if p.b.state != BreakerHalfOpen {
+		t.Fatalf("breaker %v, want half-open awaiting a fresh probe", p.b.state)
+	}
+}
+
+// TestResilientCloseSettlesGauges: messages abandoned in peer queues at
+// Close and the closed peers' breaker-state gauge entries must be settled,
+// or the gauges drift upward forever under endpoint churn.
+func TestResilientCloseSettlesGauges(t *testing.T) {
+	inner := newFakeEP()
+	inner.enter = make(chan struct{}, 8)
+	inner.gate = make(chan struct{})
+	r := NewResilient(inner, fastResilient())
+
+	depthBefore := telResQueueDepth.Value()
+	closedPeersBefore := telResBreakerPeers.With(BreakerClosed.String()).Value()
+
+	dst := Addr("peer")
+	if err := r.Send(dst, Message{Type: "m0"}); err != nil {
+		t.Fatal(err)
+	}
+	<-inner.enter // sender parked inside inner.Send; the rest stays queued
+	for i := 0; i < 5; i++ {
+		if err := r.Send(dst, Message{Type: "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := telResBreakerPeers.With(BreakerClosed.String()).Value(); got != closedPeersBefore+1 {
+		t.Fatalf("closed-peer gauge = %g with one live peer, want %g", got, closedPeersBefore+1)
+	}
+	close(inner.gate)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := telResQueueDepth.Value(); got != depthBefore {
+		t.Fatalf("queue depth gauge = %g after Close, want %g", got, depthBefore)
+	}
+	if got := telResBreakerPeers.With(BreakerClosed.String()).Value(); got != closedPeersBefore {
+		t.Fatalf("closed-peer gauge = %g after Close, want %g", got, closedPeersBefore)
+	}
+}
+
 // TestResilientQueueFull fills a tiny queue behind a gated endpoint and
 // checks overflow surfaces as ErrBacklog.
 func TestResilientQueueFull(t *testing.T) {
