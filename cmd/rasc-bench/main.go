@@ -38,11 +38,22 @@ func main() {
 		stale     = flag.Duration("stale-stats", 0, "serve monitoring reports cached up to this age (ablation)")
 		poisson   = flag.Bool("poisson", false, "Poisson request arrivals instead of a fixed gap")
 		bg        = flag.Int("background", 0, "number of cross-traffic background flows")
+		parallel  = flag.Int("parallel", 0, "sweep worker-pool size (0 = NumCPU, 1 = serial)")
+		jsonPath  = flag.String("json", "", "write compose benchmark results as JSON to this path and exit")
 	)
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if err := runBenchJSON(*jsonPath, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
+
 	if *scal {
-		cfg := experiment.ScalabilityConfig{}
+		cfg := experiment.ScalabilityConfig{Parallelism: *parallel}
 		if !*quiet {
 			cfg.Progress = func(s string) { fmt.Println(s) }
 		}
@@ -87,6 +98,7 @@ func main() {
 		StatsMaxAge:     *stale,
 		PoissonArrivals: *poisson,
 		BackgroundFlows: *bg,
+		Parallelism:     *parallel,
 	}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Println(s) }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rasc.dev/rasc"
+	"rasc.dev/rasc/internal/experiment"
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/workload"
 )
@@ -75,6 +76,9 @@ func main() {
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
 		gossipOn = flag.Bool("gossip", false, "run the gossip membership protocol: view-backed lookups, gossip-fresh stats, failure-triggered recomposition")
 
+		runs     = flag.Int("runs", 1, "repeat the scenario on N independent deployments seeded seed..seed+N-1")
+		parallel = flag.Int("parallel", 0, "worker-pool size for -runs > 1 (0 = NumCPU, 1 = serial)")
+
 		chaosDrop    = flag.Float64("chaos-drop", 0, "probability each transport message is dropped")
 		chaosDelay   = flag.Duration("chaos-delay", 0, "fixed extra delay injected into every transport message")
 		chaosJitter  = flag.Duration("chaos-delay-jitter", 0, "uniform extra delay in [0, jitter) on top of -chaos-delay")
@@ -88,7 +92,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opts := []rasc.Option{rasc.WithNodes(*nodes), rasc.WithSeed(*seed), rasc.WithGossip(*gossipOn)}
 	chaos := rasc.ChaosConfig{
 		Drop:        *chaosDrop,
 		Delay:       *chaosDelay,
@@ -96,18 +99,12 @@ func main() {
 		Duplicate:   *chaosDup,
 		Reorder:     *chaosReorder,
 	}
-	if chaos.Active() {
-		opts = append(opts, rasc.WithChaos(chaos))
-	}
-	sys := rasc.New(opts...)
-	var buf *rasc.TraceBuffer
-	if *traceOn {
-		buf = sys.EnableTracing(1_000_000)
-	}
-	if *workFile != "" {
-		replayWorkload(sys, *workFile, cmp, *duration)
-		dumpTelemetry(sys, *telOut)
-		return
+	mkOpts := func(seed int64) []rasc.Option {
+		o := []rasc.Option{rasc.WithNodes(*nodes), rasc.WithSeed(seed), rasc.WithGossip(*gossipOn)}
+		if chaos.Active() {
+			o = append(o, rasc.WithChaos(chaos))
+		}
+		return o
 	}
 	chain := strings.Split(*svcList, ",")
 	rateUnits := *rateKbps * 1000 / (*unit * 8)
@@ -118,6 +115,24 @@ func main() {
 		ID:         "cli-request",
 		UnitBytes:  *unit,
 		Substreams: []rasc.Substream{{Services: chain, Rate: rateUnits}},
+	}
+	if *runs > 1 {
+		if *traceOn || *workFile != "" || *dotOut != "" {
+			fmt.Fprintln(os.Stderr, "-runs > 1 is incompatible with -trace, -workload and -dot")
+			os.Exit(2)
+		}
+		multiRun(*runs, *parallel, *seed, *origin, *duration, req, cmp, mkOpts)
+		return
+	}
+	sys := rasc.New(mkOpts(*seed)...)
+	var buf *rasc.TraceBuffer
+	if *traceOn {
+		buf = sys.EnableTracing(1_000_000)
+	}
+	if *workFile != "" {
+		replayWorkload(sys, *workFile, cmp, *duration)
+		dumpTelemetry(sys, *telOut)
+		return
 	}
 	fmt.Printf("submitting %v at %d Kbps (%d units/sec) via %s from node %d\n",
 		chain, *rateKbps, rateUnits, cmp, *origin)
@@ -164,6 +179,53 @@ func main() {
 		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
 	}
 	dumpTelemetry(sys, *telOut)
+}
+
+// multiRun repeats the single-request scenario on n independent
+// deployments seeded base..base+n-1, fanned out across a bounded worker
+// pool. Each run builds its own System, so nothing is shared; results
+// print in seed order regardless of completion order.
+func multiRun(n, workers int, base int64, origin int, duration time.Duration, req rasc.Request, cmp rasc.Composer, mkOpts func(int64) []rasc.Option) {
+	type outcome struct {
+		hosts int
+		stats rasc.DeliveryStats
+		err   error
+	}
+	results := make([]outcome, n)
+	fmt.Printf("running %d deployments (seeds %d..%d) via %s\n", n, base, base+int64(n)-1, cmp)
+	err := experiment.ParallelFor(n, workers, func(i int) error {
+		sys := rasc.New(mkOpts(base + int64(i))...)
+		comp, err := sys.Submit(origin, req, cmp)
+		if err != nil {
+			results[i].err = err
+			return nil // a rejected composition is a result, not a sweep failure
+		}
+		sys.Run(duration)
+		results[i] = outcome{hosts: comp.NumHosts(), stats: comp.Stats()}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runs: %v\n", err)
+		os.Exit(1)
+	}
+	var agg rasc.DeliveryStats
+	composed := 0
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Printf("  seed %-3d rejected: %v\n", base+int64(i), r.err)
+			continue
+		}
+		composed++
+		agg.Emitted += r.stats.Emitted
+		agg.Received += r.stats.Received
+		agg.Timely += r.stats.Timely
+		agg.OutOfOrder += r.stats.OutOfOrder
+		fmt.Printf("  seed %-3d hosts=%d delivered %.1f%% timely %.1f%% delay %v\n",
+			base+int64(i), r.hosts, 100*r.stats.DeliveredFraction(),
+			100*r.stats.TimelyFraction(), r.stats.MeanDelay.Round(time.Millisecond))
+	}
+	fmt.Printf("\naggregate: composed %d/%d, delivered %.1f%%, timely %.1f%%\n",
+		composed, n, 100*agg.DeliveredFraction(), 100*agg.TimelyFraction())
 }
 
 // dumpTelemetry writes the final runtime telemetry snapshot alongside the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"rasc.dev/rasc/internal/overlay"
 )
@@ -18,6 +19,7 @@ func (Random) Name() string { return "random" }
 
 // Compose implements Composer.
 func (Random) Compose(in Input) (*ExecutionGraph, error) {
+	defer observeCompose(time.Now())
 	if in.Rand == nil {
 		return nil, fmt.Errorf("core: Random composer needs Input.Rand")
 	}
@@ -38,6 +40,7 @@ func (Greedy) Name() string { return "greedy" }
 
 // Compose implements Composer.
 func (Greedy) Compose(in Input) (*ExecutionGraph, error) {
+	defer observeCompose(time.Now())
 	return composeSingleInstance(in, "greedy", func(stage int, service string, feasible []Candidate) Candidate {
 		best := feasible[0]
 		for _, c := range feasible[1:] {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/simplex"
@@ -40,6 +41,7 @@ type hostBudget struct {
 
 // Compose implements Composer.
 func (lp LP) Compose(in Input) (*ExecutionGraph, error) {
+	defer observeCompose(time.Now())
 	if err := in.Request.Validate(); err != nil {
 		return nil, err
 	}

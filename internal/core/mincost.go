@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"rasc.dev/rasc/internal/mincostflow"
 	"rasc.dev/rasc/internal/overlay"
@@ -52,14 +55,72 @@ type MinCost struct {
 	// graph's Request reflects the adjusted rates). 0 keeps the paper's
 	// all-or-nothing admission.
 	BestEffortFraction float64
+	// TopK, when positive, prunes every stage to its K cheapest
+	// candidates — ordered by (drop ratio, utilization, host ID) — before
+	// the O(C²) inter-stage arcs are wired, trading a little allocation
+	// fidelity for much smaller flow graphs when discovery returns many
+	// hosts per service. K <= 0 keeps the paper-faithful full graph and
+	// produces output bit-identical to the unpruned composer.
+	TopK int
 }
 
-// solve runs the configured min-cost flow algorithm.
-func (m *MinCost) solve(fg *mincostflow.Graph, s, t int, want int64) (mincostflow.Result, error) {
-	if m.Solver == "scaling" {
-		return fg.MinCostFlowScaling(s, t, want)
+// comp is one candidate component instance in a substream's flow graph.
+type comp struct {
+	host     overlay.NodeInfo
+	drop     float64
+	util     float64
+	inNode   int
+	outNode  int
+	internal mincostflow.ArcID
+}
+
+// edgeRef remembers an inter-stage arc so its flow can be read back.
+type edgeRef struct {
+	fromStage int
+	toStage   int
+	from, to  overlay.NodeInfo
+	id        mincostflow.ArcID
+}
+
+// composeScratch carries the per-substream working state of one Compose
+// call — the flow graph arena, the solver scratch and the stage/edge
+// buffers — and is recycled across Compose calls through a pool, so the
+// composition hot path stops allocating a fresh graph and solver per
+// substream.
+type composeScratch struct {
+	graph  *mincostflow.Graph
+	solver mincostflow.Solver
+	stages [][]comp
+	edges  []edgeRef
+}
+
+var composeScratchPool = sync.Pool{New: func() interface{} {
+	return &composeScratch{graph: mincostflow.NewGraph(0)}
+}}
+
+// stagesFor returns the stage buffer resized to q empty stages, reusing
+// the per-stage slices' backing arrays.
+func (sc *composeScratch) stagesFor(q int) [][]comp {
+	full := sc.stages[:cap(sc.stages)]
+	for i := range full {
+		full[i] = full[i][:0]
 	}
-	return fg.MinCostFlow(s, t, want)
+	if cap(sc.stages) < q {
+		grown := make([][]comp, q)
+		copy(grown, full)
+		sc.stages = grown
+	} else {
+		sc.stages = sc.stages[:q]
+	}
+	return sc.stages
+}
+
+// solve runs the configured min-cost flow algorithm on the scratch solver.
+func (m *MinCost) solve(sc *composeScratch, s, t int, want int64) (mincostflow.Result, error) {
+	if m.Solver == "scaling" {
+		return sc.solver.MinCostFlowScaling(sc.graph, s, t, want)
+	}
+	return sc.solver.MinCostFlow(sc.graph, s, t, want)
 }
 
 // Name implements Composer.
@@ -77,8 +138,14 @@ func (m *MinCost) Name() string {
 
 // Compose implements Composer.
 func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
+	defer observeCompose(time.Now())
 	if err := in.Request.Validate(); err != nil {
 		return nil, err
+	}
+	sc := composeScratchPool.Get().(*composeScratch)
+	defer composeScratchPool.Put(sc)
+	if sc.solver.Reused() {
+		telSolverReuse.Inc()
 	}
 	g := &ExecutionGraph{
 		Request:  in.Request,
@@ -89,6 +156,14 @@ func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
 	// Best-effort admission may lower substream rates in the returned
 	// graph; copy the slice so the caller's request stays untouched.
 	g.Request.Substreams = append([]spec.Substream(nil), in.Request.Substreams...)
+	// Pre-size the output: at least one placement per stage and one edge
+	// per stage boundary; rate splitting can append beyond the hint.
+	total := 0
+	for _, ss := range in.Request.Substreams {
+		total += len(ss.Services)
+	}
+	g.Placements = make([]Placement, 0, total)
+	g.Edges = make([]Edge, 0, total+2*len(in.Request.Substreams))
 	caps := newCapTracker()
 	// Seed endpoint capacities. The source only transmits; the
 	// destination only receives — but we apply the paper's r_max(n)
@@ -104,30 +179,43 @@ func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
 		}
 	}
 	for l := range in.Request.Substreams {
-		if err := m.composeSubstream(in, g, caps, l); err != nil {
+		if err := m.composeSubstream(in, g, caps, sc, l); err != nil {
 			return nil, fmt.Errorf("substream %d: %w", l, err)
 		}
 	}
 	return g, nil
 }
 
+// pruneTopK truncates a stage's candidates to its k cheapest, ordered by
+// (drop ratio, utilization, host ID) — the same cost key the internal
+// arcs carry, so the survivors are exactly the hosts the full flow graph
+// prefers first.
+func pruneTopK(stage []comp, k int) []comp {
+	if k <= 0 || len(stage) <= k {
+		return stage
+	}
+	sort.Slice(stage, func(i, j int) bool {
+		a, b := &stage[i], &stage[j]
+		if a.drop != b.drop {
+			return a.drop < b.drop
+		}
+		if a.util != b.util {
+			return a.util < b.util
+		}
+		return a.host.ID.Cmp(b.host.ID) < 0
+	})
+	return stage[:k]
+}
+
 // composeSubstream reduces substream l to a min-cost flow instance and
 // reads the placements and edges back from the arc flows.
-func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker, l int) error {
+func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker, sc *composeScratch, l int) error {
 	chain := stageServices(in.Request, l)
 	rate := in.Request.Substreams[l].Rate
 	q := len(chain)
 
-	type comp struct {
-		host     overlay.NodeInfo
-		drop     float64
-		util     float64
-		inNode   int
-		outNode  int
-		internal mincostflow.ArcID
-	}
 	// Gather candidates per stage; a host may appear at several stages.
-	stages := make([][]comp, q)
+	stages := sc.stagesFor(q)
 	for j, svc := range chain {
 		cands := in.Candidates[svc]
 		if len(cands) == 0 {
@@ -136,9 +224,11 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 		for _, c := range cands {
 			stages[j] = append(stages[j], comp{host: c.Info, drop: c.Report.DropRatio, util: c.Report.Utilization()})
 		}
+		stages[j] = pruneTopK(stages[j], m.TopK)
 	}
 
-	fg := mincostflow.NewGraph(2)
+	fg := sc.graph
+	fg.Reset(2)
 	const (
 		src  = 0
 		sink = 1
@@ -160,13 +250,15 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 		}
 	}
 	const unbounded = int64(1) << 40
-	type edgeRef struct {
-		fromStage int
-		toStage   int
-		from, to  overlay.NodeInfo
-		id        mincostflow.ArcID
+	// Pre-size the edge buffer: C₀ + Σⱼ CⱼCⱼ₊₁ + C_q₋₁ inter-stage arcs.
+	edgeCap := len(stages[0]) + len(stages[q-1])
+	for j := 0; j+1 < q; j++ {
+		edgeCap += len(stages[j]) * len(stages[j+1])
 	}
-	var edges []edgeRef
+	if cap(sc.edges) < edgeCap {
+		sc.edges = make([]edgeRef, 0, edgeCap)
+	}
+	edges := sc.edges[:0]
 	// Source to stage 0.
 	for k := range stages[0] {
 		c := &stages[0][k]
@@ -189,6 +281,7 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 		id := fg.AddArc(c.outNode, dstIn, unbounded, 0)
 		edges = append(edges, edgeRef{fromStage: q - 1, toStage: q, from: c.host, to: in.Dest, id: id})
 	}
+	sc.edges = edges
 
 	if m.NoSplit {
 		// Ablation: keep only the cheapest feasible host per stage
@@ -217,7 +310,7 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 		}
 	}
 
-	res, err := m.solve(fg, src, sink, int64(rate))
+	res, err := m.solve(sc, src, sink, int64(rate))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"time"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+// Runtime telemetry for the composition hot path (metric catalogue
+// rasc_compose_*). Composition runs a few times per admitted request but
+// its cost bounds how fast allocation can track runtime conditions, so
+// its latency distribution is first-class.
+var (
+	telComposeDuration = telemetry.Default().Histogram(
+		"rasc_compose_duration_seconds",
+		"Wall-clock time one Compose call took, across all composers.", nil)
+	telSolverReuse = telemetry.Default().Counter(
+		"rasc_compose_solver_reuse_total",
+		"Compositions that hit warm pooled min-cost-flow solver scratch instead of allocating fresh state.")
+)
+
+// observeCompose records one Compose call's duration; use as
+// `defer observeCompose(time.Now())` at the top of a Compose method.
+func observeCompose(start time.Time) {
+	telComposeDuration.Observe(time.Since(start).Seconds())
+}

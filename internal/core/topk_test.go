@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// topkInput builds a wide input: `hosts` candidates per stage with varied
+// drop ratios and capacities, so pruning has something to cut.
+func topkInput(hosts, rate int, chain ...string) Input {
+	in := baseInput(req1(rate, chain...))
+	rng := rand.New(rand.NewSource(99))
+	var cands []Candidate
+	for h := 0; h < hosts; h++ {
+		cands = append(cands, cand(h, float64(40+rng.Intn(200))*kbit, float64(h%7)*0.01))
+	}
+	for _, svc := range chain {
+		in.Candidates[svc] = cands
+	}
+	return in
+}
+
+// TestTopKZeroBitIdentical pins the fidelity contract: TopK=0 (the
+// default) must produce output identical to the paper-faithful composer
+// on a matrix of seeds and shapes, including scratch-pool reuse across
+// calls.
+func TestTopKZeroBitIdentical(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		for _, hosts := range []int{3, 8, 16} {
+			in := topkInput(hosts, 10+seed, "filter", "transcode", "encrypt")
+			full, err := (&MinCost{}).Compose(in)
+			if err != nil {
+				t.Fatalf("seed %d hosts %d: %v", seed, hosts, err)
+			}
+			again, err := (&MinCost{TopK: 0}).Compose(in)
+			if err != nil {
+				t.Fatalf("seed %d hosts %d: %v", seed, hosts, err)
+			}
+			if !reflect.DeepEqual(full, again) {
+				t.Fatalf("seed %d hosts %d: TopK=0 output diverged:\n%+v\n%+v",
+					seed, hosts, full, again)
+			}
+		}
+	}
+}
+
+// TestTopKPrunedStillValid checks that a pruned composition satisfies the
+// structural invariants and places only on the K cheapest candidates.
+func TestTopKPrunedStillValid(t *testing.T) {
+	in := topkInput(16, 8, "filter", "transcode")
+	for _, k := range []int{1, 2, 4, 8} {
+		g, err := (&MinCost{TopK: k}).Compose(in)
+		if err != nil {
+			t.Fatalf("TopK=%d: %v", k, err)
+		}
+		if err := CheckGraph(g, nil); err != nil {
+			t.Fatalf("TopK=%d: %v", k, err)
+		}
+		perStage := map[int]map[string]bool{}
+		for _, p := range g.Placements {
+			if perStage[p.Stage] == nil {
+				perStage[p.Stage] = map[string]bool{}
+			}
+			perStage[p.Stage][p.Host.ID.String()] = true
+		}
+		for stage, hosts := range perStage {
+			if len(hosts) > k {
+				t.Fatalf("TopK=%d: stage %d uses %d hosts", k, stage, len(hosts))
+			}
+		}
+	}
+}
+
+// TestTopKCoversAllCandidatesEqualsFull verifies that K >= C routes the
+// same total flow at the same cost as the full graph (the pruned graph is
+// then the full graph, possibly reordered).
+func TestTopKCoversAllCandidatesEqualsFull(t *testing.T) {
+	in := topkInput(12, 9, "filter", "transcode")
+	full, err := (&MinCost{}).Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := (&MinCost{TopK: 12}).Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(g *ExecutionGraph) map[int]float64 {
+		m := map[int]float64{}
+		for _, p := range g.Placements {
+			m[p.Stage] += p.Rate
+		}
+		return m
+	}
+	if !reflect.DeepEqual(sum(full), sum(pruned)) {
+		t.Fatalf("per-stage totals diverged: %v vs %v", sum(full), sum(pruned))
+	}
+}
+
+// TestTopKTooAggressiveRejects documents the fidelity trade-off: pruning
+// below the split width the request needs makes composition fail where
+// the full graph would succeed.
+func TestTopKTooAggressiveRejects(t *testing.T) {
+	in := baseInput(req1(30, "filter"))
+	// Three hosts of 10 units each: only the 3-way split carries 30.
+	in.Candidates["filter"] = []Candidate{
+		cand(0, 100*kbit, 0.05),
+		cand(1, 100*kbit, 0.01),
+		cand(2, 100*kbit, 0.02),
+	}
+	if _, err := (&MinCost{}).Compose(in); err != nil {
+		t.Fatalf("full graph: %v", err)
+	}
+	if _, err := (&MinCost{TopK: 2}).Compose(in); err == nil {
+		t.Fatal("TopK=2 composed a rate only 3 hosts can carry")
+	}
+}
+
+// TestComposeScratchReuseDeterministic hammers one MinCost through many
+// back-to-back compositions of differently-shaped requests and checks
+// each against a cold composer — the pooled scratch must never leak state
+// between calls.
+func TestComposeScratchReuseDeterministic(t *testing.T) {
+	shapes := [][]string{
+		{"filter"},
+		{"filter", "transcode"},
+		{"filter", "transcode", "encrypt"},
+		{"transcode"},
+	}
+	m := &MinCost{}
+	for i := 0; i < 40; i++ {
+		chain := shapes[i%len(shapes)]
+		in := topkInput(3+i%9, 5+i%6, chain...)
+		got, err := m.Compose(in)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		want, err := (&MinCost{}).Compose(in)
+		if err != nil {
+			t.Fatalf("iter %d cold: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d (%v): warm scratch diverged from cold compose", i, chain)
+		}
+	}
+}
+
+// TestSolverOptionStillWorks exercises the scaling solver through the
+// scratch path.
+func TestSolverOptionStillWorks(t *testing.T) {
+	in := topkInput(8, 10, "filter", "transcode")
+	g, err := (&MinCost{Solver: "scaling"}).Compose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGraph(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,8 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"rasc.dev/rasc/internal/core"
@@ -64,7 +66,17 @@ type Config struct {
 	// (see deploy.SystemOptions).
 	BackgroundFlows int
 
-	// Progress, when set, receives one line per completed run.
+	// Parallelism bounds how many (composer, rate, seed) cells run
+	// concurrently: each cell is an independent simulated deployment, so
+	// the sweep fans out across cores. 0 selects runtime.NumCPU(); 1
+	// forces the serial path. The Runs ordering and every figure are
+	// independent of the setting — each cell seeds its own RNGs and the
+	// results land at fixed indices.
+	Parallelism int
+
+	// Progress, when set, receives one line per completed run. Under a
+	// parallel sweep the callback is serialised but lines arrive in
+	// completion order, not sweep order.
 	Progress func(string)
 }
 
@@ -122,6 +134,12 @@ func (c *Config) defaults() {
 	}
 	if c.TimelyFactor == 0 {
 		c.TimelyFactor = 1
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 }
 
@@ -215,24 +233,57 @@ type Results struct {
 	Telemetry string
 }
 
-// Run executes the full sweep.
+// Run executes the full sweep. Cells — one per (rate, composer, seed)
+// triple — fan out across cfg.Parallelism workers; each cell builds its
+// own simulated deployment, so runs share nothing but the process-wide
+// telemetry registry. Results land at the same indices the serial sweep
+// produced, so figures and CSVs are byte-identical at any parallelism.
 func Run(cfg Config) (*Results, error) {
 	cfg.defaults()
 	res := &Results{Config: cfg}
+
+	type cell struct {
+		rate int
+		name string
+		seed int64
+	}
+	cells := make([]cell, 0, len(cfg.Rates)*len(cfg.Composers)*len(cfg.Seeds))
 	for _, rate := range cfg.Rates {
 		for _, name := range cfg.Composers {
 			for _, seed := range cfg.Seeds {
-				rs, err := RunOne(cfg, name, rate, seed)
-				if err != nil {
-					return nil, err
-				}
-				res.Runs = append(res.Runs, rs)
-				if cfg.Progress != nil {
-					cfg.Progress(fmt.Sprintf("%-16s rate=%3d0Kbps seed=%d composed=%2d/%2d delivered=%.3f delay=%6.1fms jitter=%5.1fms",
-						name, rate, seed, rs.Composed, rs.Submitted, rs.DeliveredFraction(), rs.MeanDelayMs(), rs.MeanJitterMs()))
-				}
+				cells = append(cells, cell{rate, name, seed})
 			}
 		}
+	}
+	res.Runs = make([]RunStats, len(cells))
+
+	workers := cfg.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	telSweepParallelism.Set(float64(workers))
+
+	var progressMu sync.Mutex
+	err := ParallelFor(len(cells), workers, func(i int) error {
+		c := cells[i]
+		rs, err := RunOne(cfg, c.name, c.rate, c.seed)
+		if err != nil {
+			return err
+		}
+		res.Runs[i] = rs
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			cfg.Progress(fmt.Sprintf("%-16s rate=%3d0Kbps seed=%d composed=%2d/%2d delivered=%.3f delay=%6.1fms jitter=%5.1fms",
+				c.name, c.rate, c.seed, rs.Composed, rs.Submitted, rs.DeliveredFraction(), rs.MeanDelayMs(), rs.MeanJitterMs()))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Telemetry = telemetry.Default().String()
 	return res, nil

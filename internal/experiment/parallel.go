@@ -1,0 +1,56 @@
+package experiment
+
+import "sync"
+
+// ParallelFor runs fn(0) … fn(n-1) across at most workers goroutines,
+// handing out indices in ascending order. It returns the error of the
+// lowest-index call that failed — the same error a serial loop would
+// have returned, since every lower index was already dispatched before
+// the failing one. Once any call fails, indices not yet started are
+// skipped. workers <= 1 degenerates to a plain serial loop (including
+// early exit on first error).
+func ParallelFor(n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var hits [40]int32
+		if err := ParallelFor(len(hits), workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := ParallelFor(20, workers, func(i int) error {
+			if i == 4 || i == 11 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 4 failed" {
+			t.Fatalf("workers=%d: err = %v, want cell 4", workers, err)
+		}
+	}
+}
+
+func TestParallelForZeroItems(t *testing.T) {
+	if err := ParallelFor(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunParallelMatchesSerial is the tentpole determinism contract: the
+// same sweep at Parallelism 1 and Parallelism 4 must produce identical
+// Runs in identical order (Telemetry is process-global and excluded).
+func TestRunParallelMatchesSerial(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seeds = []int64{1, 2}
+	cfg.Rates = []int{5, 8}
+
+	cfg.Parallelism = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts diverged: %d vs %d", len(serial.Runs), len(parallel.Runs))
+	}
+	for i := range serial.Runs {
+		if serial.Runs[i] != parallel.Runs[i] {
+			t.Fatalf("run %d diverged under parallelism:\nserial:   %+v\nparallel: %+v",
+				i, serial.Runs[i], parallel.Runs[i])
+		}
+	}
+	if !strings.Contains(parallel.Telemetry, "rasc_experiment_sweep_parallelism 4") {
+		t.Error("sweep parallelism gauge missing from telemetry snapshot")
+	}
+}

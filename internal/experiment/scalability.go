@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"rasc.dev/rasc/internal/metrics"
@@ -20,6 +22,10 @@ type ScalabilityConfig struct {
 	RequestsPerNode float64
 	// Composer (default "mincost").
 	Composer string
+	// Parallelism bounds concurrent (node-count, seed) runs; 0 selects
+	// runtime.NumCPU(). Aggregates are accumulated in sweep order, so
+	// the table is identical at any setting.
+	Parallelism int
 	// Progress receives one line per run when set.
 	Progress func(string)
 }
@@ -40,6 +46,12 @@ func (c *ScalabilityConfig) defaults() {
 	if c.Composer == "" {
 		c.Composer = "mincost"
 	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
 }
 
 // RunScalability sweeps deployment sizes and reports, per size: requests
@@ -52,30 +64,55 @@ func RunScalability(cfg ScalabilityConfig) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Scalability: deployment-size sweep ("+cfg.Composer+")",
 		"nodes", "per-column", cfg.NodeCounts)
+	type cell struct {
+		nodes, requests int
+		seed            int64
+	}
+	cells := make([]cell, 0, len(cfg.NodeCounts)*len(cfg.Seeds))
 	for _, n := range cfg.NodeCounts {
 		requests := int(float64(n) * cfg.RequestsPerNode)
 		if requests < 1 {
 			requests = 1
 		}
-		var composed, delivered, composeMs metrics.Welford
 		for _, seed := range cfg.Seeds {
-			base := Config{
-				Nodes:      n,
-				Requests:   requests,
-				MeasureFor: 20 * time.Second,
-			}
-			rs, err := RunOne(base, cfg.Composer, cfg.Rate, seed)
-			if err != nil {
-				return nil, err
-			}
-			composed.Add(float64(rs.Composed))
-			delivered.Add(rs.DeliveredFraction())
-			composeMs.Add(rs.MeanComposeLatencyMs())
-			if cfg.Progress != nil {
-				cfg.Progress(
-					"nodes=" + itoa(n) + " seed=" + itoa(int(seed)) +
-						" composed=" + itoa(rs.Composed) + "/" + itoa(requests))
-			}
+			cells = append(cells, cell{n, requests, seed})
+		}
+	}
+	runs := make([]RunStats, len(cells))
+	var progressMu sync.Mutex
+	err := ParallelFor(len(cells), cfg.Parallelism, func(i int) error {
+		c := cells[i]
+		base := Config{
+			Nodes:      c.nodes,
+			Requests:   c.requests,
+			MeasureFor: 20 * time.Second,
+		}
+		rs, err := RunOne(base, cfg.Composer, cfg.Rate, c.seed)
+		if err != nil {
+			return err
+		}
+		runs[i] = rs
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			cfg.Progress(
+				"nodes=" + itoa(c.nodes) + " seed=" + itoa(int(c.seed)) +
+					" composed=" + itoa(rs.Composed) + "/" + itoa(c.requests))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in sweep order so floating-point accumulation — and hence
+	// the table — is independent of the worker interleaving.
+	for i := 0; i < len(cells); {
+		n := cells[i].nodes
+		var composed, delivered, composeMs metrics.Welford
+		for ; i < len(cells) && cells[i].nodes == n; i++ {
+			composed.Add(float64(runs[i].Composed))
+			delivered.Add(runs[i].DeliveredFraction())
+			composeMs.Add(runs[i].MeanComposeLatencyMs())
 		}
 		t.Set("composed", n, composed.Mean())
 		t.Set("delivered_frac", n, delivered.Mean())

@@ -1,0 +1,9 @@
+package experiment
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the evaluation harness (metric catalogue
+// rasc_experiment_*).
+var telSweepParallelism = telemetry.Default().Gauge(
+	"rasc_experiment_sweep_parallelism",
+	"Effective worker-pool size of the most recently started experiment sweep.")

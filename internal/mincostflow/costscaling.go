@@ -2,23 +2,71 @@ package mincostflow
 
 // Cost-scaling minimum-cost flow (Goldberg's ε-relaxation method, the
 // algorithm the RASC paper cites for solving its composition reduction at
-// scale). The successive-shortest-path solver in mincostflow.go is the
-// default for composition-sized graphs; this implementation exists as an
+// scale). The successive-shortest-path solver in solver.go is the default
+// for composition-sized graphs; this implementation exists as an
 // independently-derived alternative — the two are cross-checked on random
 // instances in the tests — and wins on dense graphs with large flows.
 
 import "fmt"
 
+// carc is one arc of the cost-scaling working copy.
+type carc struct {
+	to, rev   int
+	cap, flow int64
+	cost      int64 // scaled cost
+}
+
+// arcMapping ties a working-copy arc back to its arc in the input graph.
+type arcMapping struct{ u, i, cu, ci int }
+
 // MinCostFlowScaling routes up to want units from s to t at minimum cost
 // using cost scaling. It is semantically identical to MinCostFlow:
 // it returns the achieved flow (≤ want) and its total cost, leaving
-// per-arc flows readable through Flow. Costs must be non-negative.
+// per-arc flows readable through Flow. Costs must be non-negative. It
+// draws a pooled Solver for its scratch.
 func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
-	n := len(g.adj)
-	if s < 0 || s >= n || t < 0 || t >= n {
-		return Result{}, fmt.Errorf("mincostflow: bad endpoints %d,%d", s, t)
+	sv := AcquireSolver()
+	defer sv.Release()
+	return sv.MinCostFlowScaling(g, s, t, want)
+}
+
+// growScaling sizes the cost-scaling scratch for n nodes, recycling the
+// working-copy adjacency arena like Graph.Reset does.
+func (s *Solver) growScaling(n int) {
+	if cap(s.excess) < n {
+		s.excess = make([]int64, n)
+		s.inQueue = make([]bool, n)
 	}
-	if s == t || want <= 0 {
+	s.excess = s.excess[:n]
+	s.inQueue = s.inQueue[:n]
+	for i := 0; i < n; i++ {
+		s.excess[i] = 0
+		s.inQueue[i] = false
+	}
+	s.active = s.active[:0]
+	full := s.cadj[:cap(s.cadj)]
+	for i := range full {
+		full[i] = full[i][:0]
+	}
+	if cap(s.cadj) < n {
+		grown := make([][]carc, n)
+		copy(grown, full)
+		s.cadj = grown
+	} else {
+		s.cadj = s.cadj[:n]
+	}
+	s.maps = s.maps[:0]
+}
+
+// MinCostFlowScaling is the cost-scaling solve using this solver's
+// scratch; semantics match Graph.MinCostFlowScaling.
+func (s *Solver) MinCostFlowScaling(g *Graph, src, dst int, want int64) (Result, error) {
+	defer func() { s.warm = true }()
+	n := len(g.adj)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return Result{}, errBadEndpoints(src, dst)
+	}
+	if src == dst || want <= 0 {
 		return Result{}, nil
 	}
 	for u := range g.adj {
@@ -31,7 +79,7 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 
 	// Phase 1: find the throughput with plain max-flow (the scaling
 	// phase needs an exact excess to cancel). Saturate up to want.
-	maxed := g.maxFlowUpTo(s, t, want)
+	maxed := g.maxFlowUpTo(src, dst, want)
 	if maxed == 0 {
 		return Result{}, nil
 	}
@@ -43,19 +91,14 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 	// Costs are scaled by (n+1) so that ε < 1/(n+1) implies optimality
 	// with integer costs.
 	alpha := int64(n + 1)
-	type carc struct {
-		to, rev   int
-		cap, flow int64
-		cost      int64 // scaled cost
-	}
-	adj := make([][]carc, n)
+	s.grow(n)
+	s.growScaling(n)
+	adj := s.cadj
 	addArc := func(u, v int, capacity, cost int64) {
 		adj[u] = append(adj[u], carc{to: v, rev: len(adj[v]), cap: capacity, cost: cost * alpha})
 		adj[v] = append(adj[v], carc{to: u, rev: len(adj[u]) - 1, cap: 0, cost: -cost * alpha})
 	}
 	// Copy the residual graph including current flow as residual caps.
-	type mapping struct{ u, i, cu, ci int }
-	var maps []mapping
 	maxCost := int64(0)
 	for u := range g.adj {
 		for i := range g.adj[u] {
@@ -68,7 +111,7 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 			// Mirror the existing flow into the copy.
 			adj[cu][ci].flow = a.flow
 			adj[a.to][adj[cu][ci].rev].flow = -a.flow
-			maps = append(maps, mapping{u: u, i: i, cu: cu, ci: ci})
+			s.maps = append(s.maps, arcMapping{u: u, i: i, cu: cu, ci: ci})
 			if a.cost > maxCost {
 				maxCost = a.cost
 			}
@@ -78,12 +121,15 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 	// possible path cost, otherwise the optimal circulation is simply
 	// zero flow. -(n·maxCost+1) in unscaled units dominates every path.
 	returnReward := maxCost*int64(n) + 1
-	addArc(t, s, maxed, -returnReward)
-	adj[t][len(adj[t])-1].flow = maxed
-	adj[s][adj[t][len(adj[t])-1].rev].flow = -maxed
+	addArc(dst, src, maxed, -returnReward)
+	adj[dst][len(adj[dst])-1].flow = maxed
+	adj[src][adj[dst][len(adj[dst])-1].rev].flow = -maxed
 
-	pot := make([]int64, n)
-	excess := make([]int64, n)
+	pot := s.pot
+	for i := range pot {
+		pot[i] = 0
+	}
+	excess := s.excess
 	eps := returnReward * alpha
 	if eps == 0 {
 		eps = 1
@@ -105,8 +151,11 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 			}
 		}
 		// Push/relabel until no active nodes remain.
-		var active []int
-		inQueue := make([]bool, n)
+		active := s.active[:0]
+		inQueue := s.inQueue
+		for i := range inQueue {
+			inQueue[i] = false
+		}
 		for v := range excess {
 			if excess[v] > 0 {
 				active = append(active, v)
@@ -159,12 +208,13 @@ func (g *Graph) MinCostFlowScaling(s, t int, want int64) (Result, error) {
 				}
 			}
 		}
+		s.active = active // keep the grown backing array
 	}
 
 	// Write the optimized flows back and total the cost.
 	var res Result
 	res.Flow = maxed
-	for _, m := range maps {
+	for _, m := range s.maps {
 		f := adj[m.cu][m.ci].flow
 		a := &g.adj[m.u][m.i]
 		rev := &g.adj[a.to][a.rev]

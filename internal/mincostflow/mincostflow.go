@@ -7,7 +7,6 @@
 package mincostflow
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -41,9 +40,14 @@ func NewGraph(n int) *Graph {
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
-// AddNode appends a new node and returns its index.
+// AddNode appends a new node and returns its index. On a graph recycled
+// with Reset the node reuses the arc storage of its previous life.
 func (g *Graph) AddNode() int {
-	g.adj = append(g.adj, nil)
+	if len(g.adj) < cap(g.adj) {
+		g.adj = g.adj[:len(g.adj)+1] // slot already truncated by Reset
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	return len(g.adj) - 1
 }
 
@@ -79,12 +83,30 @@ func (g *Graph) ZeroCapacity(id ArcID) {
 	a.cap = a.flow
 }
 
-// Reset clears all flow, preserving capacities.
-func (g *Graph) Reset() {
+// ResetFlows clears all flow, preserving nodes, arcs and capacities.
+func (g *Graph) ResetFlows() {
 	for u := range g.adj {
 		for i := range g.adj[u] {
 			g.adj[u][i].flow = 0
 		}
+	}
+}
+
+// Reset reinitialises the graph to n empty nodes, recycling the adjacency
+// arena: per-node arc slices keep their backing arrays, so rebuilding a
+// similarly-shaped graph (the per-substream composition pattern) allocates
+// nothing once the arena is warm.
+func (g *Graph) Reset(n int) {
+	full := g.adj[:cap(g.adj)]
+	for i := range full {
+		full[i] = full[i][:0]
+	}
+	if cap(g.adj) < n {
+		grown := make([][]arc, n)
+		copy(grown, full)
+		g.adj = grown
+	} else {
+		g.adj = g.adj[:n]
 	}
 }
 
@@ -98,57 +120,20 @@ type Result struct {
 
 const inf = int64(math.MaxInt64) / 4
 
+// errBadEndpoints builds the shared bad-endpoint error.
+func errBadEndpoints(s, t int) error {
+	return fmt.Errorf("mincostflow: bad endpoints %d,%d", s, t)
+}
+
 // MinCostFlow routes up to want units from s to t at minimum total cost,
 // augmenting along successive shortest paths. It returns the achieved flow
 // and its cost. Costs may be negative as long as the graph has no
-// negative-cost cycle.
+// negative-cost cycle. It draws a pooled Solver for its scratch; callers
+// solving many instances should hold a Solver themselves.
 func (g *Graph) MinCostFlow(s, t int, want int64) (Result, error) {
-	n := len(g.adj)
-	if s < 0 || s >= n || t < 0 || t >= n {
-		return Result{}, fmt.Errorf("mincostflow: bad endpoints %d,%d", s, t)
-	}
-	if s == t || want <= 0 {
-		return Result{}, nil
-	}
-	pot := make([]int64, n)
-	if g.hasNegativeCost() {
-		ok := g.bellmanFord(s, pot)
-		if !ok {
-			return Result{}, ErrNegativeCycle
-		}
-	}
-	var res Result
-	dist := make([]int64, n)
-	prevNode := make([]int, n)
-	prevArc := make([]int, n)
-	for res.Flow < want {
-		if !g.dijkstra(s, t, pot, dist, prevNode, prevArc) {
-			break // t unreachable in the residual graph
-		}
-		// Update potentials with the new shortest distances.
-		for v := 0; v < n; v++ {
-			if dist[v] < inf {
-				pot[v] += dist[v]
-			}
-		}
-		// Find the bottleneck along the path.
-		push := want - res.Flow
-		for v := t; v != s; v = prevNode[v] {
-			a := &g.adj[prevNode[v]][prevArc[v]]
-			if r := a.cap - a.flow; r < push {
-				push = r
-			}
-		}
-		// Apply the augmentation.
-		for v := t; v != s; v = prevNode[v] {
-			a := &g.adj[prevNode[v]][prevArc[v]]
-			a.flow += push
-			g.adj[v][a.rev].flow -= push
-			res.Cost += push * a.cost
-		}
-		res.Flow += push
-	}
-	return res, nil
+	sv := AcquireSolver()
+	defer sv.Release()
+	return sv.MinCostFlow(g, s, t, want)
 }
 
 func (g *Graph) hasNegativeCost() bool {
@@ -198,59 +183,10 @@ func (g *Graph) bellmanFord(s int, pot []int64) bool {
 	return true
 }
 
+// pqItem is one Dijkstra heap entry (see Solver.dijkstra).
 type pqItem struct {
 	node int
 	dist int64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
-// dijkstra computes reduced-cost shortest paths from s; it returns true if
-// t is reachable.
-func (g *Graph) dijkstra(s, t int, pot, dist []int64, prevNode, prevArc []int) bool {
-	n := len(g.adj)
-	for i := 0; i < n; i++ {
-		dist[i] = inf
-		prevNode[i] = -1
-	}
-	dist[s] = 0
-	q := pq{{node: s, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.dist > dist[it.node] {
-			continue
-		}
-		u := it.node
-		for i := range g.adj[u] {
-			a := g.adj[u][i]
-			if a.cap <= a.flow || pot[a.to] >= inf || pot[u] >= inf {
-				continue
-			}
-			rc := a.cost + pot[u] - pot[a.to]
-			if rc < 0 {
-				rc = 0 // guard against rounding in caller-scaled costs
-			}
-			if nd := dist[u] + rc; nd < dist[a.to] {
-				dist[a.to] = nd
-				prevNode[a.to] = u
-				prevArc[a.to] = i
-				heap.Push(&q, pqItem{node: a.to, dist: nd})
-			}
-		}
-	}
-	return dist[t] < inf
 }
 
 // PathFlow is one source-to-sink path carrying a positive amount of flow.

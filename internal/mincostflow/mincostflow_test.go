@@ -115,19 +115,52 @@ func TestNegativeCycleDetected(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
+func TestResetFlows(t *testing.T) {
 	g := NewGraph(2)
 	a := g.AddArc(0, 1, 5, 1)
 	if _, err := g.MinCostFlow(0, 1, 5); err != nil {
 		t.Fatal(err)
 	}
-	g.Reset()
+	g.ResetFlows()
 	if g.Flow(a) != 0 || g.Residual(a) != 5 {
-		t.Fatal("Reset did not clear flow")
+		t.Fatal("ResetFlows did not clear flow")
 	}
 	res, err := g.MinCostFlow(0, 1, 5)
 	if err != nil || res.Flow != 5 {
-		t.Fatalf("rerun after Reset: %+v, %v", res, err)
+		t.Fatalf("rerun after ResetFlows: %+v, %v", res, err)
+	}
+}
+
+func TestResetArena(t *testing.T) {
+	g := NewGraph(4)
+	g.AddArc(0, 1, 5, 1)
+	g.AddArc(1, 3, 5, 1)
+	if _, err := g.MinCostFlow(0, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Recycle into a smaller graph: old arcs must be gone.
+	g.Reset(2)
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	a := g.AddArc(0, 1, 7, 2)
+	res, err := g.MinCostFlow(0, 1, 10)
+	if err != nil || res.Flow != 7 || res.Cost != 14 {
+		t.Fatalf("recycled solve = %+v, %v", res, err)
+	}
+	if g.Flow(a) != 7 {
+		t.Fatalf("flow on recycled arc = %d", g.Flow(a))
+	}
+	// Growing past the old arena must also start clean.
+	g.Reset(3)
+	if n := g.AddNode(); n != 3 {
+		t.Fatalf("AddNode after Reset = %d, want 3", n)
+	}
+	g.AddArc(0, 2, 3, 1)
+	g.AddArc(2, 3, 3, 1)
+	res, err = g.MinCostFlow(0, 3, 5)
+	if err != nil || res.Flow != 3 || res.Cost != 6 {
+		t.Fatalf("grown solve = %+v, %v", res, err)
 	}
 }
 

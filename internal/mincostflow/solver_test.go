@@ -1,0 +1,155 @@
+package mincostflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLayeredGraph builds a composition-shaped layered graph: src →
+// stage₀ … stage_{q-1} → dst with capacity-bounded internal arcs, like
+// core.MinCost produces. Returns the graph, endpoints and the internal
+// arc IDs whose flows the assertions compare.
+func randomLayeredGraph(rng *rand.Rand) (*Graph, int, int, []ArcID) {
+	q := 1 + rng.Intn(4)
+	width := 1 + rng.Intn(6)
+	g := NewGraph(2)
+	src, dst := 0, 1
+	srcOut := g.AddNode()
+	dstIn := g.AddNode()
+	g.AddArc(src, srcOut, int64(10+rng.Intn(200)), 0)
+	g.AddArc(dstIn, dst, int64(10+rng.Intn(200)), 0)
+	var internals []ArcID
+	prevOuts := []int{srcOut}
+	for j := 0; j < q; j++ {
+		var outs []int
+		for k := 0; k < width; k++ {
+			in, out := g.AddNode(), g.AddNode()
+			id := g.AddArc(in, out, int64(rng.Intn(60)), int64(rng.Intn(1_000_000)))
+			internals = append(internals, id)
+			for _, p := range prevOuts {
+				g.AddArc(p, in, 1<<40, 0)
+			}
+			outs = append(outs, out)
+		}
+		prevOuts = outs
+	}
+	for _, p := range prevOuts {
+		g.AddArc(p, dstIn, 1<<40, 0)
+	}
+	return g, src, dst, internals
+}
+
+// TestSolverPooledMatchesFresh is the solver-reuse property test: a pooled
+// Solver run back-to-back over a stream of randomized graphs must return
+// flows and costs identical to a fresh solver solving the same instance.
+// Run under -race in CI.
+func TestSolverPooledMatchesFresh(t *testing.T) {
+	pooled := AcquireSolver()
+	defer pooled.Release()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		g, src, dst, internals := randomLayeredGraph(rng)
+		want := int64(1 + rng.Intn(150))
+
+		gotRes, err := pooled.MinCostFlow(g, src, dst, want)
+		if err != nil {
+			t.Fatalf("trial %d: pooled solve: %v", trial, err)
+		}
+		gotFlows := make([]int64, len(internals))
+		for i, id := range internals {
+			gotFlows[i] = g.Flow(id)
+		}
+
+		g.ResetFlows()
+		var fresh Solver
+		wantRes, err := fresh.MinCostFlow(g, src, dst, want)
+		if err != nil {
+			t.Fatalf("trial %d: fresh solve: %v", trial, err)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("trial %d: pooled %+v != fresh %+v", trial, gotRes, wantRes)
+		}
+		for i := range internals {
+			if got := g.Flow(internals[i]); got != gotFlows[i] {
+				t.Fatalf("trial %d arc %d: pooled flow %d != fresh flow %d",
+					trial, i, gotFlows[i], got)
+			}
+		}
+	}
+	if !pooled.Reused() {
+		t.Fatal("pooled solver never reported reuse")
+	}
+}
+
+// TestSolverScalingPooledMatchesFresh extends the reuse property to the
+// cost-scaling path: same instance, pooled vs fresh scratch, identical
+// result and per-arc flows.
+func TestSolverScalingPooledMatchesFresh(t *testing.T) {
+	pooled := AcquireSolver()
+	defer pooled.Release()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		g, src, dst, internals := randomLayeredGraph(rng)
+		want := int64(1 + rng.Intn(100))
+
+		gotRes, err := pooled.MinCostFlowScaling(g, src, dst, want)
+		if err != nil {
+			t.Fatalf("trial %d: pooled scaling: %v", trial, err)
+		}
+		gotFlows := make([]int64, len(internals))
+		for i, id := range internals {
+			gotFlows[i] = g.Flow(id)
+		}
+
+		g.ResetFlows()
+		var fresh Solver
+		wantRes, err := fresh.MinCostFlowScaling(g, src, dst, want)
+		if err != nil {
+			t.Fatalf("trial %d: fresh scaling: %v", trial, err)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("trial %d: pooled %+v != fresh %+v", trial, gotRes, wantRes)
+		}
+		for i := range internals {
+			if got := g.Flow(internals[i]); got != gotFlows[i] {
+				t.Fatalf("trial %d arc %d: pooled flow %d != fresh flow %d",
+					trial, i, gotFlows[i], got)
+			}
+		}
+	}
+}
+
+// TestGraphResetReusesArena pins the allocation contract: rebuilding and
+// re-solving the same-shaped graph through Reset plus a held Solver must
+// not allocate once warm.
+func TestGraphResetReusesArena(t *testing.T) {
+	sv := AcquireSolver()
+	defer sv.Release()
+	g := NewGraph(2)
+	build := func() {
+		g.Reset(2)
+		srcOut, dstIn := g.AddNode(), g.AddNode()
+		g.AddArc(0, srcOut, 100, 0)
+		g.AddArc(dstIn, 1, 100, 0)
+		for k := 0; k < 8; k++ {
+			in, out := g.AddNode(), g.AddNode()
+			g.AddArc(in, out, 20, int64(k*1000))
+			g.AddArc(srcOut, in, 1<<40, 0)
+			g.AddArc(out, dstIn, 1<<40, 0)
+		}
+	}
+	// Warm the arenas.
+	build()
+	if _, err := sv.MinCostFlow(g, 0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		build()
+		if _, err := sv.MinCostFlow(g, 0, 1, 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("warm rebuild+solve allocates %.1f times per run, want 0", avg)
+	}
+}

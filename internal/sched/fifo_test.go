@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFIFOOrderAndDrops pins the behaviour the ring refactor must keep:
+// arrival order, deadline drops, and capacity rejection.
+func TestFIFOOrderAndDrops(t *testing.T) {
+	q := NewFIFO(3)
+	a := unit("a", 100*time.Millisecond, 5*time.Millisecond)
+	late := unit("late", 10*time.Millisecond, 5*time.Millisecond)
+	b := unit("b", 200*time.Millisecond, 5*time.Millisecond)
+	for _, u := range []*Unit{a, late, b} {
+		if !q.Push(u) {
+			t.Fatalf("push %s rejected", u.ComponentKey)
+		}
+	}
+	if q.Push(unit("overflow", time.Second, 0)) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	got, dropped := q.Next(20 * time.Millisecond)
+	if got != a || len(dropped) != 0 {
+		t.Fatalf("Next = %v dropped %v, want a", got, dropped)
+	}
+	got, dropped = q.Next(20 * time.Millisecond)
+	if got != b || len(dropped) != 1 || dropped[0] != late {
+		t.Fatalf("Next = %v dropped %v, want b with [late]", got, dropped)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if got, dropped := q.Next(0); got != nil || dropped != nil {
+		t.Fatalf("Next on empty = %v %v", got, dropped)
+	}
+}
+
+// TestFIFONextReleasesPoppedSlots is the leak regression test: after a
+// pop, the queue must not retain the unit through its backing array
+// (`units = units[1:]` kept every popped pointer alive until the array
+// itself was dropped). The head-index ring nils the slot, so inspecting
+// the full backing capacity must find no popped unit.
+func TestFIFONextReleasesPoppedSlots(t *testing.T) {
+	q := NewFIFO(0).(*fifo)
+	popped := map[*Unit]bool{}
+	for i := 0; i < 256; i++ {
+		q.Push(unit(fmt.Sprintf("u%d", i), time.Hour, 0))
+		// Drain every other iteration so head and tail both move and the
+		// compaction path (head > 32, head > len/2) gets exercised.
+		if i%2 == 1 {
+			u, _ := q.Next(0)
+			if u == nil {
+				t.Fatalf("iter %d: queue unexpectedly empty", i)
+			}
+			popped[u] = true
+		}
+	}
+	backing := q.units[:cap(q.units)]
+	for i, u := range backing {
+		if u != nil && popped[u] {
+			t.Fatalf("backing slot %d still pins popped unit %q", i, u.ComponentKey)
+		}
+	}
+	if live := q.Len(); live != 128 {
+		t.Fatalf("Len = %d, want 128", live)
+	}
+	// Drain fully and confirm arrival order survived the compactions.
+	prev := -1
+	for q.Len() > 0 {
+		u, _ := q.Next(0)
+		var n int
+		if _, err := fmt.Sscanf(u.ComponentKey, "u%d", &n); err != nil {
+			t.Fatal(err)
+		}
+		if n <= prev {
+			t.Fatalf("order violated: %d after %d", n, prev)
+		}
+		prev = n
+	}
+}
+
+// TestFIFOBackingDoesNotGrowUnbounded verifies the compaction: steady
+// push/pop traffic must not grow the buffer with the total unit count.
+func TestFIFOBackingDoesNotGrowUnbounded(t *testing.T) {
+	q := NewFIFO(0).(*fifo)
+	for i := 0; i < 10_000; i++ {
+		q.Push(unit("u", time.Hour, 0))
+		q.Next(0)
+	}
+	if c := cap(q.units); c > 1024 {
+		t.Fatalf("backing array grew to %d slots under steady 1-deep traffic", c)
+	}
+}

@@ -187,9 +187,14 @@ func (q *edf) Next(now time.Duration) (*Unit, []*Unit) {
 
 // fifo runs units in arrival order, still dropping units that can no
 // longer meet their deadlines (so the ablation isolates ordering, not
-// admission).
+// admission). Popping advances a head index instead of reslicing
+// (`units = units[1:]` would pin every popped *Unit in the backing array
+// until the whole array is released); popped slots are nilled so the
+// units become collectable immediately, and the buffer compacts once the
+// dead prefix dominates.
 type fifo struct {
 	units    []*Unit
+	head     int
 	capacity int
 	m        policyMetrics
 }
@@ -200,10 +205,10 @@ func NewFIFO(capacity int) Policy {
 }
 
 func (q *fifo) Name() string { return "fifo" }
-func (q *fifo) Len() int     { return len(q.units) }
+func (q *fifo) Len() int     { return len(q.units) - q.head }
 
 func (q *fifo) Push(u *Unit) bool {
-	if q.capacity > 0 && len(q.units) >= q.capacity {
+	if q.capacity > 0 && q.Len() >= q.capacity {
 		q.m.onReject()
 		return false
 	}
@@ -212,11 +217,33 @@ func (q *fifo) Push(u *Unit) bool {
 	return true
 }
 
+// pop removes and returns the head unit; the caller guarantees Len() > 0.
+func (q *fifo) pop() *Unit {
+	u := q.units[q.head]
+	q.units[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.units):
+		// Empty: recycle the buffer from the start.
+		q.units = q.units[:0]
+		q.head = 0
+	case q.head > 32 && q.head > len(q.units)/2:
+		// Mostly dead prefix: slide the live tail down so the backing
+		// array stops growing without bound under steady traffic.
+		n := copy(q.units, q.units[q.head:])
+		for i := n; i < len(q.units); i++ {
+			q.units[i] = nil
+		}
+		q.units = q.units[:n]
+		q.head = 0
+	}
+	return u
+}
+
 func (q *fifo) Next(now time.Duration) (*Unit, []*Unit) {
 	var dropped []*Unit
-	for len(q.units) > 0 {
-		u := q.units[0]
-		q.units = q.units[1:]
+	for q.Len() > 0 {
+		u := q.pop()
 		if u.Laxity(now) < 0 {
 			q.m.onDrop(u, now)
 			dropped = append(dropped, u)
