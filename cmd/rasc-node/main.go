@@ -25,6 +25,7 @@ import (
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/live"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -53,12 +54,21 @@ func main() {
 		chaosDelay   = flag.Duration("chaos-delay", 0, "fault injection: fixed extra delay on every outbound message")
 		chaosJitter  = flag.Duration("chaos-delay-jitter", 0, "fault injection: uniform extra delay in [0, jitter)")
 		chaosSeed    = flag.Int64("chaos-seed", 0, "fault injection: seed for reproducible fault sequences (0: wall clock)")
+
+		adaptIvl  = flag.Duration("adapt-interval", 0, "enable the adaptation control plane with this delivery-rate check period (0: disabled)")
+		adaptFull = flag.Bool("adapt-full-only", false, "disable incremental reallocation: every adaptation action tears down and re-composes in full")
 	)
 	flag.Parse()
 
 	var services []string
 	if *svcList != "" {
 		services = strings.Split(*svcList, ",")
+	}
+	var adaptation *stream.AdaptationConfig
+	if *adaptIvl > 0 {
+		cfg := stream.AdaptationConfig{Interval: *adaptIvl}
+		cfg.Control.DisableIncremental = *adaptFull
+		adaptation = &cfg
 	}
 	node, err := live.Start(live.Config{
 		Listen:          *listen,
@@ -86,6 +96,7 @@ func main() {
 			Delay:       *chaosDelay,
 			DelayJitter: *chaosJitter,
 		},
+		Adaptation: adaptation,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "start: %v\n", err)

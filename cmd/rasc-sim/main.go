@@ -76,6 +76,9 @@ func main() {
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
 		gossipOn = flag.Bool("gossip", false, "run the gossip membership protocol: view-backed lookups, gossip-fresh stats, failure-triggered recomposition")
 
+		adaptIvl  = flag.Duration("adapt-interval", 0, "enable the adaptation control plane with this delivery-rate check period (0: disabled; pair with -gossip for failure triggers)")
+		adaptFull = flag.Bool("adapt-full-only", false, "disable incremental reallocation: every adaptation action tears down and re-composes in full")
+
 		runs     = flag.Int("runs", 1, "repeat the scenario on N independent deployments seeded seed..seed+N-1")
 		parallel = flag.Int("parallel", 0, "worker-pool size for -runs > 1 (0 = NumCPU, 1 = serial)")
 
@@ -103,6 +106,11 @@ func main() {
 		o := []rasc.Option{rasc.WithNodes(*nodes), rasc.WithSeed(seed), rasc.WithGossip(*gossipOn)}
 		if chaos.Active() {
 			o = append(o, rasc.WithChaos(chaos))
+		}
+		if *adaptIvl > 0 {
+			cfg := rasc.AdaptationConfig{Interval: *adaptIvl}
+			cfg.Control.DisableIncremental = *adaptFull
+			o = append(o, rasc.WithAdaptation(cfg))
 		}
 		return o
 	}

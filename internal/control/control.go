@@ -1,0 +1,556 @@
+// Package control is the origin-side adaptation control plane: the
+// "dynamic" half of dynamic rate allocation, unified behind one
+// event-driven controller. Monitoring digests, the gossip failure
+// detector, transport circuit breakers and the periodic delivery-rate
+// check all publish typed events onto a single channel; the controller
+// applies hysteresis, cooldown and concurrency limits, then reallocates
+// rate *incrementally* — re-solving only the affected substreams with the
+// surviving placements pre-seeded as zero-cost residual flow
+// (core.MinCost.ComposeDelta) — and falls back to a full
+// teardown-and-recompose only when the incremental solve is infeasible.
+package control
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/overlay"
+)
+
+// ErrUnknownApp is returned by Actions implementations when the
+// application no longer exists (finished or torn down); the controller
+// drops its state instead of retrying.
+var ErrUnknownApp = errors.New("control: unknown application")
+
+// Actions is the controller's view of the stream engine. Implementations
+// must invoke the done callback exactly once, from the controller's
+// execution context (the engine loop in live deployments, the simulator
+// event loop in simulations).
+type Actions interface {
+	// AppsOn returns the IDs of live origin applications with a component
+	// placed on host, in deterministic (sorted) order.
+	AppsOn(host overlay.ID) []string
+	// Reallocate incrementally shifts the application's rate away from
+	// the degraded hosts: only the listed substreams (nil = all affected)
+	// are re-solved, surviving placements keep their flow, sinks and
+	// sources are not restarted. A wrapped core.ErrNoFeasiblePlacement
+	// reports that the surviving hosts cannot absorb the displaced rate.
+	Reallocate(app string, degraded map[overlay.ID]bool, substreams []int, done func(error))
+	// Recompose tears the application down and re-composes it from fresh
+	// discovery and monitoring state. upgrade selects the best-effort
+	// upgrade composer for below-desired admissions.
+	Recompose(app string, upgrade bool, done func(error))
+}
+
+// Config tunes the controller. The zero value plus a Clock is usable; all
+// other fields default as documented.
+type Config struct {
+	// Clock schedules event draining and retry timers. Required.
+	Clock clock.Clock
+	// RateHysteresis is how many RateBelowThreshold strikes an application
+	// accumulates before the controller acts (default 1: act on the first,
+	// matching the pre-control-plane behavior).
+	RateHysteresis int
+	// DropHysteresis is how many DropRatioSpike strikes a host accumulates
+	// before the controller shifts rate away from it (default 2: a single
+	// noisy digest is not actionable).
+	DropHysteresis int
+	// StrikeTTL expires a strike counter when the next strike arrives more
+	// than this long after the previous one (0 = never expire). Origins
+	// publishing periodic rate events set this to a small multiple of
+	// their check interval so strikes mean *consecutive* degradation.
+	StrikeTTL time.Duration
+	// Cooldown suppresses further actions on an application for this long
+	// after a successful reallocation, letting the new split take effect
+	// before it is judged (default 5s). Work arriving during cooldown is
+	// merged and launched when the cooldown expires.
+	Cooldown time.Duration
+	// RetryBackoff is the delay before retrying a failed reallocation
+	// (default 1s); it doubles per consecutive failure up to
+	// MaxRetryBackoff (default 30s) and resets on success.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// MaxConcurrent bounds reallocations in flight across all
+	// applications (default 4). Excess work queues FIFO.
+	MaxConcurrent int
+	// DisableIncremental forces every action through the full
+	// teardown-and-recompose path — the pre-control-plane baseline, kept
+	// for comparison experiments.
+	DisableIncremental bool
+}
+
+func (c *Config) defaults() {
+	if c.RateHysteresis <= 0 {
+		c.RateHysteresis = 1
+	}
+	if c.DropHysteresis <= 0 {
+		c.DropHysteresis = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Second
+	}
+	if c.MaxRetryBackoff <= 0 {
+		c.MaxRetryBackoff = 30 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+}
+
+// work is the merged reallocation demand for one application.
+type work struct {
+	degraded map[overlay.ID]bool
+	// substreams nil = all; otherwise the union of affected indexes.
+	substreams map[int]bool
+	allSubs    bool
+	full       bool
+	upgrade    bool
+}
+
+func (w *work) merge(o *work) {
+	if o.full {
+		w.full = true
+	}
+	if o.upgrade {
+		w.upgrade = true
+	}
+	for id := range o.degraded {
+		if w.degraded == nil {
+			w.degraded = make(map[overlay.ID]bool)
+		}
+		w.degraded[id] = true
+	}
+	if o.allSubs {
+		w.allSubs = true
+	}
+	for l := range o.substreams {
+		if w.substreams == nil {
+			w.substreams = make(map[int]bool)
+		}
+		w.substreams[l] = true
+	}
+}
+
+func (w *work) substreamList() []int {
+	if w.allSubs || w.substreams == nil {
+		return nil
+	}
+	list := make([]int, 0, len(w.substreams))
+	for l := range w.substreams {
+		list = append(list, l)
+	}
+	// Deterministic order for the delta solve and its telemetry.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j] < list[j-1]; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+	return list
+}
+
+// appState tracks one application's controller-side lifecycle.
+type appState struct {
+	inflight      bool
+	cooldownUntil time.Duration
+	backoff       time.Duration
+	rateStrikes   int
+	lastStrike    time.Duration
+	pending       *work
+	// timerArmed marks a scheduled flushPending (cooldown expiry or retry
+	// backoff); cancelTimer cancels it.
+	timerArmed  bool
+	cancelTimer func()
+}
+
+// hostState tracks per-host drop-spike hysteresis.
+type hostState struct {
+	strikes    int
+	lastStrike time.Duration
+}
+
+// Stats is a snapshot of the controller's action counters.
+type Stats struct {
+	// Incremental counts successful delta reallocations; Full counts
+	// successful full recompositions (including fallbacks and upgrades).
+	Incremental int64
+	Full        int64
+	// Fallbacks counts incremental solves that were infeasible and fell
+	// back to a full recompose.
+	Fallbacks int64
+	// Failures counts reallocation attempts that errored and were
+	// re-armed with backoff.
+	Failures int64
+}
+
+// Controller consumes adaptation events and drives reallocations through
+// an Actions implementation. Publish is safe for concurrent use; all other
+// processing runs in the Clock's execution context.
+type Controller struct {
+	cfg Config
+	act Actions
+
+	mu             sync.Mutex
+	queue          []Event
+	drainScheduled bool
+	closed         bool
+
+	apps    map[string]*appState
+	hosts   map[overlay.ID]*hostState
+	inTotal int
+	waiting []string // apps with pending work blocked on MaxConcurrent, FIFO
+
+	stats Stats
+}
+
+// New builds a controller. cfg.Clock is required.
+func New(cfg Config, act Actions) *Controller {
+	cfg.defaults()
+	if cfg.Clock == nil {
+		panic("control: Config.Clock is required")
+	}
+	return &Controller{
+		cfg:   cfg,
+		act:   act,
+		apps:  make(map[string]*appState),
+		hosts: make(map[overlay.ID]*hostState),
+	}
+}
+
+// Publish enqueues one event and schedules a drain on the controller's
+// clock. It is the only method safe to call from outside the controller's
+// execution context.
+func (c *Controller) Publish(ev Event) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, ev)
+	schedule := !c.drainScheduled
+	c.drainScheduled = true
+	c.mu.Unlock()
+	if schedule {
+		c.cfg.Clock.After(0, c.drain)
+	}
+}
+
+// Close cancels pending timers and makes further events no-ops. In-flight
+// reallocations finish but trigger no follow-up work.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.queue = nil
+	apps := c.apps
+	c.mu.Unlock()
+	for _, st := range apps {
+		if st.cancelTimer != nil {
+			st.cancelTimer()
+		}
+	}
+}
+
+// Stats returns a snapshot of the action counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Inflight returns the number of reallocations currently running.
+func (c *Controller) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inTotal
+}
+
+func (c *Controller) drain() {
+	c.mu.Lock()
+	evs := c.queue
+	c.queue = nil
+	c.drainScheduled = false
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, ev := range evs {
+		c.handle(ev)
+	}
+}
+
+func (c *Controller) app(id string) *appState {
+	st := c.apps[id]
+	if st == nil {
+		st = &appState{}
+		c.apps[id] = st
+	}
+	return st
+}
+
+// strike advances a TTL-expiring counter and reports whether it reached
+// the threshold (resetting it when it did).
+func (c *Controller) strike(count *int, last *time.Duration, threshold int) bool {
+	now := c.cfg.Clock.Now()
+	if c.cfg.StrikeTTL > 0 && *count > 0 && now-*last > c.cfg.StrikeTTL {
+		*count = 0
+	}
+	*count++
+	*last = now
+	if *count < threshold {
+		return false
+	}
+	*count = 0
+	return true
+}
+
+func (c *Controller) handle(ev Event) {
+	telEvents.With(ev.Kind.String()).Inc()
+	switch ev.Kind {
+	case MemberDead, BreakerOpen:
+		// Failure-detector verdicts act immediately: the host is (or is
+		// about to be declared) gone, waiting only widens the dip. They
+		// are edge-triggered — fired once — so gated work is latched.
+		c.forApps(ev, func(app string) {
+			c.request(app, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, true)
+		})
+	case DropRatioSpike:
+		h := c.hosts[ev.Host]
+		if h == nil {
+			h = &hostState{}
+			c.hosts[ev.Host] = h
+		}
+		if !c.strike(&h.strikes, &h.lastStrike, c.cfg.DropHysteresis) {
+			telSuppressed.With("hysteresis").Inc()
+			return
+		}
+		c.forApps(ev, func(app string) {
+			c.request(app, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, false)
+		})
+	case RateBelowThreshold:
+		st := c.app(ev.App)
+		if !c.strike(&st.rateStrikes, &st.lastStrike, c.cfg.RateHysteresis) {
+			telSuppressed.With("hysteresis").Inc()
+			return
+		}
+		w := &work{}
+		if ev.Host == (overlay.ID{}) {
+			// No culprit to shift away from: the incremental solve has
+			// nothing to exclude, so go straight to a full recompose.
+			w.full = true
+		} else {
+			w.degraded = map[overlay.ID]bool{ev.Host: true}
+		}
+		if ev.Substreams == nil {
+			w.allSubs = true
+		} else {
+			w.substreams = make(map[int]bool, len(ev.Substreams))
+			for _, l := range ev.Substreams {
+				w.substreams[l] = true
+			}
+		}
+		c.request(ev.App, w, false)
+	case UpgradePossible:
+		c.request(ev.App, &work{full: true, upgrade: true, allSubs: true}, false)
+	}
+}
+
+// forApps resolves an event's target applications: the explicit App, or
+// every application placed on the event's host.
+func (c *Controller) forApps(ev Event, fn func(app string)) {
+	if ev.App != "" {
+		fn(ev.App)
+		return
+	}
+	for _, app := range c.act.AppsOn(ev.Host) {
+		fn(app)
+	}
+}
+
+// request routes merged work for an application through the single-flight,
+// cooldown and global-concurrency gates. latch decides what happens to
+// gated work: edge-triggered events (a host died — the signal fires once)
+// are remembered and launched when the gate clears; level-triggered events
+// (delivered rate below threshold — re-published every check interval
+// while the condition persists) are dropped, so that a condition which
+// cleared on its own does not trigger a stale reallocation later.
+func (c *Controller) request(app string, w *work, latch bool) {
+	st := c.app(app)
+	if st.inflight {
+		if latch {
+			c.addPending(st, w)
+		}
+		telSuppressed.With("inflight").Inc()
+		return
+	}
+	if st.timerArmed {
+		// A backoff retry (or cooldown flush) is already scheduled for this
+		// application. Fold latched work into it instead of racing it: this
+		// is what paces a failing application at the backoff rate rather
+		// than the event rate.
+		if latch {
+			c.addPending(st, w)
+		}
+		telSuppressed.With("backoff").Inc()
+		return
+	}
+	now := c.cfg.Clock.Now()
+	if now < st.cooldownUntil {
+		if latch {
+			c.addPending(st, w)
+			c.armTimer(app, st, st.cooldownUntil-now)
+		}
+		telSuppressed.With("cooldown").Inc()
+		return
+	}
+	if c.inTotal >= c.cfg.MaxConcurrent {
+		if latch {
+			c.addPending(st, w)
+			c.enqueueWaiting(app)
+		}
+		telSuppressed.With("limit").Inc()
+		return
+	}
+	c.launch(app, st, w)
+}
+
+func (c *Controller) addPending(st *appState, w *work) {
+	if st.pending == nil {
+		st.pending = &work{}
+	}
+	st.pending.merge(w)
+}
+
+func (c *Controller) enqueueWaiting(app string) {
+	for _, a := range c.waiting {
+		if a == app {
+			return
+		}
+	}
+	c.waiting = append(c.waiting, app)
+}
+
+// armTimer schedules flushPending after d, unless one is already armed.
+func (c *Controller) armTimer(app string, st *appState, d time.Duration) {
+	if st.timerArmed {
+		return
+	}
+	st.timerArmed = true
+	st.cancelTimer = c.cfg.Clock.After(d, func() {
+		st.timerArmed = false
+		st.cancelTimer = nil
+		c.flushPending(app)
+	})
+}
+
+// flushPending re-requests an application's merged pending work.
+func (c *Controller) flushPending(app string) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	st := c.app(app)
+	if st.pending == nil || st.inflight {
+		return
+	}
+	w := st.pending
+	st.pending = nil
+	c.request(app, w, true)
+}
+
+// dispatchWaiting launches queued work as global slots free up.
+func (c *Controller) dispatchWaiting() {
+	for len(c.waiting) > 0 && c.inTotal < c.cfg.MaxConcurrent {
+		app := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.flushPending(app)
+	}
+}
+
+// launch runs one reallocation for an application.
+func (c *Controller) launch(app string, st *appState, w *work) {
+	st.inflight = true
+	st.rateStrikes = 0
+	c.inTotal++
+	telInflight.Set(float64(c.inTotal))
+	if c.cfg.DisableIncremental {
+		w.full = true
+	}
+	mode := "incremental"
+	if w.full {
+		mode = "full"
+	}
+	onDone := func(err error) { c.finish(app, st, w, mode, err) }
+	if w.full {
+		c.act.Recompose(app, w.upgrade, onDone)
+		return
+	}
+	c.act.Reallocate(app, w.degraded, w.substreamList(), func(err error) {
+		if err != nil && errors.Is(err, core.ErrNoFeasiblePlacement) {
+			// The surviving hosts cannot absorb the displaced rate:
+			// fall back to the teardown-and-recompose path.
+			telFallbacks.Inc()
+			c.mu.Lock()
+			c.stats.Fallbacks++
+			c.mu.Unlock()
+			mode = "full"
+			c.act.Recompose(app, false, onDone)
+			return
+		}
+		onDone(err)
+	})
+}
+
+// finish settles one completed reallocation: cooldown on success, backoff
+// re-arm on failure, then hands freed slots to waiting applications.
+func (c *Controller) finish(app string, st *appState, w *work, mode string, err error) {
+	st.inflight = false
+	c.inTotal--
+	telInflight.Set(float64(c.inTotal))
+	now := c.cfg.Clock.Now()
+	switch {
+	case err == nil:
+		telActions.With(mode).Inc()
+		c.mu.Lock()
+		if mode == "full" {
+			c.stats.Full++
+		} else {
+			c.stats.Incremental++
+		}
+		c.mu.Unlock()
+		st.backoff = 0
+		st.cooldownUntil = now + c.cfg.Cooldown
+		if st.pending != nil {
+			c.armTimer(app, st, c.cfg.Cooldown)
+		}
+	case errors.Is(err, ErrUnknownApp):
+		// The application finished while the work was queued; forget it.
+		if st.cancelTimer != nil {
+			st.cancelTimer()
+		}
+		delete(c.apps, app)
+	default:
+		telFailures.Inc()
+		c.mu.Lock()
+		c.stats.Failures++
+		c.mu.Unlock()
+		// A failed attempt re-arms immediately with exponential backoff —
+		// the old adaptation loop instead parked the application until
+		// the next periodic check.
+		if st.backoff == 0 {
+			st.backoff = c.cfg.RetryBackoff
+		} else if st.backoff *= 2; st.backoff > c.cfg.MaxRetryBackoff {
+			st.backoff = c.cfg.MaxRetryBackoff
+		}
+		c.addPending(st, w)
+		c.armTimer(app, st, st.backoff)
+	}
+	c.dispatchWaiting()
+}

@@ -1,0 +1,370 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/overlay"
+)
+
+// fakeClock is a deterministic single-threaded clock for controller tests.
+type fakeClock struct {
+	now    time.Duration
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at      time.Duration
+	fn      func()
+	stopped bool
+}
+
+func (c *fakeClock) Now() time.Duration { return c.now }
+
+func (c *fakeClock) After(d time.Duration, fn func()) func() {
+	t := &fakeTimer{at: c.now + d, fn: fn}
+	c.timers = append(c.timers, t)
+	return func() { t.stopped = true }
+}
+
+// advance runs due timers in time order (FIFO on ties) up to now+d.
+func (c *fakeClock) advance(d time.Duration) {
+	target := c.now + d
+	for {
+		best := -1
+		for i, t := range c.timers {
+			if !t.stopped && (best == -1 || t.at < c.timers[best].at) {
+				best = i
+			}
+		}
+		if best == -1 || c.timers[best].at > target {
+			break
+		}
+		t := c.timers[best]
+		c.timers = append(c.timers[:best], c.timers[best+1:]...)
+		if t.at > c.now {
+			c.now = t.at
+		}
+		t.fn()
+	}
+	c.now = target
+}
+
+type call struct {
+	app      string
+	degraded map[overlay.ID]bool
+	subs     []int
+	full     bool
+	upgrade  bool
+	done     func(error)
+}
+
+// fakeActions records reallocation calls; tests complete them explicitly
+// via call.done, or rely on finish() to pop-and-complete the oldest.
+type fakeActions struct {
+	appsOn map[overlay.ID][]string
+	calls  []call
+}
+
+func (f *fakeActions) AppsOn(host overlay.ID) []string { return f.appsOn[host] }
+
+func (f *fakeActions) Reallocate(app string, degraded map[overlay.ID]bool, subs []int, done func(error)) {
+	f.calls = append(f.calls, call{app: app, degraded: degraded, subs: subs, done: done})
+}
+
+func (f *fakeActions) Recompose(app string, upgrade bool, done func(error)) {
+	f.calls = append(f.calls, call{app: app, full: true, upgrade: upgrade, done: done})
+}
+
+// finish completes the oldest unfinished call with err.
+func (f *fakeActions) finish(t *testing.T, err error) call {
+	t.Helper()
+	for i := range f.calls {
+		if f.calls[i].done != nil {
+			cl := f.calls[i]
+			f.calls[i].done = nil
+			cl.done(err)
+			return cl
+		}
+	}
+	t.Fatal("no unfinished call")
+	return call{}
+}
+
+func host(i byte) overlay.ID { return overlay.ID{i} }
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *fakeClock, *fakeActions) {
+	t.Helper()
+	clk := &fakeClock{}
+	act := &fakeActions{appsOn: make(map[overlay.ID][]string)}
+	cfg.Clock = clk
+	return New(cfg, act), clk, act
+}
+
+func TestMemberDeadReallocatesEveryAppOnHost(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	act.appsOn[host(7)] = []string{"a", "b"}
+	c.Publish(Event{Kind: MemberDead, Host: host(7)})
+	clk.advance(0)
+	if len(act.calls) != 2 {
+		t.Fatalf("calls = %d, want 2", len(act.calls))
+	}
+	for i, app := range []string{"a", "b"} {
+		cl := act.calls[i]
+		if cl.app != app || cl.full || !cl.degraded[host(7)] {
+			t.Fatalf("call %d = %+v, want incremental for %q away from host 7", i, cl, app)
+		}
+	}
+	act.finish(t, nil)
+	act.finish(t, nil)
+	if s := c.Stats(); s.Incremental != 2 || s.Full != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDropSpikeHysteresis(t *testing.T) {
+	c, clk, act := newTestController(t, Config{DropHysteresis: 2})
+	act.appsOn[host(3)] = []string{"a"}
+	c.Publish(Event{Kind: DropRatioSpike, Host: host(3)})
+	clk.advance(0)
+	if len(act.calls) != 0 {
+		t.Fatalf("first spike acted immediately: %+v", act.calls)
+	}
+	c.Publish(Event{Kind: DropRatioSpike, Host: host(3)})
+	clk.advance(0)
+	if len(act.calls) != 1 {
+		t.Fatalf("second spike produced %d calls, want 1", len(act.calls))
+	}
+	if !act.calls[0].degraded[host(3)] {
+		t.Fatalf("call = %+v, want host 3 degraded", act.calls[0])
+	}
+	_ = c
+}
+
+func TestStrikeTTLExpiresStaleStrikes(t *testing.T) {
+	ctl, clk, act := newTestController(t, Config{DropHysteresis: 2, StrikeTTL: 10 * time.Second})
+	act.appsOn[host(3)] = []string{"a"}
+	ctl.Publish(Event{Kind: DropRatioSpike, Host: host(3)})
+	clk.advance(0)
+	clk.advance(11 * time.Second) // first strike goes stale
+	ctl.Publish(Event{Kind: DropRatioSpike, Host: host(3)})
+	clk.advance(0)
+	if len(act.calls) != 0 {
+		t.Fatalf("stale strike still counted: %+v", act.calls)
+	}
+	ctl.Publish(Event{Kind: DropRatioSpike, Host: host(3)})
+	clk.advance(0)
+	if len(act.calls) != 1 {
+		t.Fatalf("two fresh strikes produced %d calls, want 1", len(act.calls))
+	}
+}
+
+func TestRateEventWithoutCulpritGoesFull(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	c.Publish(Event{Kind: RateBelowThreshold, App: "a", Substreams: []int{1}})
+	clk.advance(0)
+	if len(act.calls) != 1 || !act.calls[0].full {
+		t.Fatalf("calls = %+v, want one full recompose", act.calls)
+	}
+}
+
+func TestRateEventWithCulpritGoesIncremental(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	c.Publish(Event{Kind: RateBelowThreshold, App: "a", Host: host(5), Substreams: []int{2, 0}})
+	clk.advance(0)
+	if len(act.calls) != 1 || act.calls[0].full {
+		t.Fatalf("calls = %+v, want one incremental", act.calls)
+	}
+	if got := act.calls[0].subs; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("substreams = %v, want sorted [0 2]", got)
+	}
+}
+
+func TestInfeasibleDeltaFallsBackToFullRecompose(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	act.finish(t, fmt.Errorf("substream 0: %w", core.ErrNoFeasiblePlacement))
+	if len(act.calls) != 2 || !act.calls[1].full || act.calls[1].upgrade {
+		t.Fatalf("calls = %+v, want fallback full recompose", act.calls)
+	}
+	act.finish(t, nil)
+	if s := c.Stats(); s.Fallbacks != 1 || s.Full != 1 || s.Incremental != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFailureReArmsWithBackoff(t *testing.T) {
+	c, clk, act := newTestController(t, Config{RetryBackoff: time.Second, MaxRetryBackoff: 3 * time.Second})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	act.finish(t, errors.New("instantiate RPC failed"))
+	if len(act.calls) != 1 {
+		t.Fatalf("retry launched synchronously")
+	}
+	clk.advance(time.Second) // first backoff
+	if len(act.calls) != 2 {
+		t.Fatalf("no retry after first backoff: %d calls", len(act.calls))
+	}
+	act.finish(t, errors.New("still failing"))
+	clk.advance(time.Second)
+	if len(act.calls) != 2 {
+		t.Fatal("retried before doubled backoff elapsed")
+	}
+	clk.advance(time.Second) // 2s total: doubled backoff
+	if len(act.calls) != 3 {
+		t.Fatalf("no retry after doubled backoff: %d calls", len(act.calls))
+	}
+	cl := act.finish(t, nil)
+	if !cl.degraded[host(1)] {
+		t.Fatalf("retry lost the degraded set: %+v", cl)
+	}
+	if s := c.Stats(); s.Failures != 2 || s.Incremental != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEventsDuringBackoffWaitDoNotLaunch(t *testing.T) {
+	c, clk, act := newTestController(t, Config{RetryBackoff: 2 * time.Second})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	act.finish(t, errors.New("instantiate RPC failed"))
+	// Fresh events while the retry timer is armed must not launch ahead of
+	// the backoff — that would pace a failing app at the event rate.
+	c.Publish(Event{Kind: RateBelowThreshold, App: "a", Host: host(5), Substreams: []int{0}})
+	clk.advance(0)
+	if len(act.calls) != 1 {
+		t.Fatalf("level-triggered event launched during backoff wait: %d calls", len(act.calls))
+	}
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(2)})
+	clk.advance(0)
+	if len(act.calls) != 1 {
+		t.Fatalf("edge-triggered event launched during backoff wait: %d calls", len(act.calls))
+	}
+	clk.advance(2 * time.Second)
+	if len(act.calls) != 2 {
+		t.Fatalf("backoff retry never launched: %d calls", len(act.calls))
+	}
+	// The retry carries the original degraded host plus the latched
+	// edge-triggered one; the level-triggered event was dropped (the
+	// periodic check will republish it if the condition persists).
+	cl := act.calls[1]
+	if !cl.degraded[host(1)] || !cl.degraded[host(2)] || cl.degraded[host(5)] {
+		t.Fatalf("merged work = %+v, want degraded {1,2} without 5", cl)
+	}
+}
+
+func TestSingleFlightMergesConcurrentWork(t *testing.T) {
+	c, clk, act := newTestController(t, Config{Cooldown: 5 * time.Second})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	// Second failure while the first reallocation is still in flight.
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(2)})
+	clk.advance(0)
+	if len(act.calls) != 1 {
+		t.Fatalf("in-flight app got a concurrent reallocation: %d calls", len(act.calls))
+	}
+	act.finish(t, nil)
+	// Merged pending work launches only after the cooldown.
+	clk.advance(4 * time.Second)
+	if len(act.calls) != 1 {
+		t.Fatal("pending work launched inside cooldown")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if len(act.calls) != 2 {
+		t.Fatalf("pending work never launched: %d calls", len(act.calls))
+	}
+	cl := act.calls[1]
+	if !cl.degraded[host(2)] {
+		t.Fatalf("merged work lost host 2: %+v", cl)
+	}
+}
+
+func TestGlobalConcurrencyLimit(t *testing.T) {
+	c, clk, act := newTestController(t, Config{MaxConcurrent: 1})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	c.Publish(Event{Kind: MemberDead, App: "b", Host: host(1)})
+	clk.advance(0)
+	if len(act.calls) != 1 || act.calls[0].app != "a" {
+		t.Fatalf("calls = %+v, want only app a in flight", act.calls)
+	}
+	if c.Inflight() != 1 {
+		t.Fatalf("inflight = %d", c.Inflight())
+	}
+	act.finish(t, nil)
+	if len(act.calls) != 2 || act.calls[1].app != "b" {
+		t.Fatalf("freed slot not handed to app b: %+v", act.calls)
+	}
+}
+
+func TestDisableIncrementalForcesFullRecompose(t *testing.T) {
+	c, clk, act := newTestController(t, Config{DisableIncremental: true})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	if len(act.calls) != 1 || !act.calls[0].full {
+		t.Fatalf("calls = %+v, want full recompose", act.calls)
+	}
+	_ = c
+}
+
+func TestUpgradeEventsDoNotRaceInFlightUpgrade(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	for i := 0; i < 3; i++ {
+		c.Publish(Event{Kind: UpgradePossible, App: "a"})
+		clk.advance(0)
+	}
+	if len(act.calls) != 1 {
+		t.Fatalf("duplicate upgrade attempts: %d", len(act.calls))
+	}
+	if !act.calls[0].full || !act.calls[0].upgrade {
+		t.Fatalf("call = %+v, want full upgrade recompose", act.calls[0])
+	}
+}
+
+func TestLevelTriggeredEventsAreNotLatched(t *testing.T) {
+	// A rate event observed while a reallocation is in flight describes
+	// the dip that reallocation is already fixing; latching it would
+	// trigger a spurious full recompose after the cooldown.
+	c, clk, act := newTestController(t, Config{Cooldown: 5 * time.Second})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	c.Publish(Event{Kind: RateBelowThreshold, App: "a"})
+	clk.advance(0)
+	act.finish(t, nil)
+	clk.advance(time.Minute)
+	if len(act.calls) != 1 {
+		t.Fatalf("dropped rate event still launched work: %d calls", len(act.calls))
+	}
+}
+
+func TestUnknownAppStopsRetrying(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	act.finish(t, ErrUnknownApp)
+	clk.advance(time.Minute)
+	if len(act.calls) != 1 {
+		t.Fatalf("unknown app retried: %d calls", len(act.calls))
+	}
+	if s := c.Stats(); s.Failures != 0 {
+		t.Fatalf("unknown app counted as failure: %+v", s)
+	}
+}
+
+func TestCloseStopsProcessing(t *testing.T) {
+	c, clk, act := newTestController(t, Config{})
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	c.Close()
+	clk.advance(0)
+	if len(act.calls) != 0 {
+		t.Fatalf("closed controller still acted: %+v", act.calls)
+	}
+	c.Publish(Event{Kind: MemberDead, App: "a", Host: host(1)})
+	clk.advance(0)
+	if len(act.calls) != 0 {
+		t.Fatal("publish after close acted")
+	}
+}

@@ -1,0 +1,59 @@
+package control
+
+import "rasc.dev/rasc/internal/overlay"
+
+// EventKind enumerates the typed adaptation triggers feeding the
+// controller.
+type EventKind int
+
+const (
+	// RateBelowThreshold reports that an application substream's delivered
+	// rate fell below the configured fraction of its requirement (the
+	// origin's periodic sink check).
+	RateBelowThreshold EventKind = iota
+	// MemberDead reports that the gossip failure detector declared a host
+	// dead.
+	MemberDead
+	// BreakerOpen reports that the transport circuit breaker opened for a
+	// peer after consecutive send failures.
+	BreakerOpen
+	// DropRatioSpike reports that a host's disseminated monitoring digest
+	// crossed the drop-ratio spike threshold.
+	DropRatioSpike
+	// UpgradePossible reports that a healthy application admitted below
+	// its desired rate might now be upgradable (capacity may have freed).
+	UpgradePossible
+)
+
+// String returns the snake_case label used in rasc_control_* telemetry.
+func (k EventKind) String() string {
+	switch k {
+	case RateBelowThreshold:
+		return "rate_below_threshold"
+	case MemberDead:
+		return "member_dead"
+	case BreakerOpen:
+		return "breaker_open"
+	case DropRatioSpike:
+		return "drop_ratio_spike"
+	case UpgradePossible:
+		return "upgrade_possible"
+	}
+	return "unknown"
+}
+
+// Event is one adaptation trigger published to the controller.
+type Event struct {
+	Kind EventKind
+	// App is the affected application (request ID). Host-scoped events
+	// (MemberDead, BreakerOpen, DropRatioSpike) leave it empty; the
+	// controller expands them to every application placed on Host.
+	App string
+	// Host is the culprit host when one is known; the zero ID means
+	// "unknown", which forces a full recompose instead of an incremental
+	// shift (there is nothing to shift away from).
+	Host overlay.ID
+	// Substreams lists the affected substream indexes, when known. nil
+	// re-solves every substream.
+	Substreams []int
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/spec"
+)
+
+// DeltaComposer is implemented by composers that support incremental
+// re-composition: rebuilding only the affected substreams of a running
+// application while keeping the surviving placements in place.
+type DeltaComposer interface {
+	Composer
+	ComposeDelta(in Input, prev *ExecutionGraph, degraded map[overlay.ID]bool, affected []int) (*ExecutionGraph, error)
+}
+
+// deltaCtx carries one substream's incremental re-composition state into
+// composeSubstream: the hosts to route away from and the surviving prior
+// flow, pre-seeded as zero-cost residual capacity.
+type deltaCtx struct {
+	degraded map[overlay.ID]bool
+	// residual[stage] maps host ID to the prior flow units the host's
+	// component instance at that stage still carries.
+	residual []map[overlay.ID]int64
+	// endpointResidual is the substream's prior rate: the source is
+	// already transmitting it and the destination already receiving it,
+	// so it is credited back on top of the measured availability.
+	endpointResidual int64
+}
+
+// ComposeDelta incrementally re-composes a running application: only the
+// substreams listed in affected (nil = all) are re-solved; the others are
+// copied verbatim from prev with their capacity use accounted. For each
+// re-solved substream, prev's placements on non-degraded hosts are
+// pre-seeded into the flow graph as zero-cost residual arcs — keeping an
+// existing instance costs nothing, so the solver shifts only the share
+// that rode through the degraded hosts — and degraded hosts are excluded
+// from candidacy outright.
+//
+// in.Request must carry the application's live rates (prev.Request for a
+// running graph, including any best-effort reduction). With a nil prev,
+// no degraded hosts and affected == nil, ComposeDelta is exactly Compose:
+// the output is bit-identical.
+//
+// It returns ErrNoFeasiblePlacement (wrapped) when the surviving hosts
+// cannot absorb the displaced rate; callers then fall back to a full
+// teardown-and-recompose.
+func (m *MinCost) ComposeDelta(in Input, prev *ExecutionGraph, degraded map[overlay.ID]bool, affected []int) (*ExecutionGraph, error) {
+	defer observeCompose(time.Now())
+	if err := in.Request.Validate(); err != nil {
+		return nil, err
+	}
+	sc := composeScratchPool.Get().(*composeScratch)
+	defer composeScratchPool.Put(sc)
+	if sc.solver.Reused() {
+		telSolverReuse.Inc()
+	}
+	g := &ExecutionGraph{
+		Request:  in.Request,
+		Composer: m.Name(),
+		Source:   in.Source,
+		Dest:     in.Dest,
+	}
+	g.Request.Substreams = append([]spec.Substream(nil), in.Request.Substreams...)
+	total := 0
+	for _, ss := range in.Request.Substreams {
+		total += len(ss.Services)
+	}
+	g.Placements = make([]Placement, 0, total)
+	g.Edges = make([]Edge, 0, total+2*len(in.Request.Substreams))
+	caps := newCapTracker()
+	caps.seed(in.Source.ID, int(in.SourceReport.AvailOut()*in.headroom()/unitBits(in.Request)))
+	caps.seed(in.Dest.ID, int(in.DestReport.AvailIn()*in.headroom()/unitBits(in.Request)))
+	for _, cands := range in.Candidates {
+		for _, c := range cands {
+			caps.seed(c.Info.ID, maxRateUnits(c.Report, in))
+			if m.UseCPU {
+				caps.seedCPU(c.Info.ID, c.Report.SpeedFactor, c.Report.AvailCPU()*in.headroom())
+			}
+		}
+	}
+	affectedSet := make(map[int]bool, len(in.Request.Substreams))
+	if affected == nil {
+		for l := range in.Request.Substreams {
+			affectedSet[l] = true
+		}
+	} else {
+		for _, l := range affected {
+			affectedSet[l] = true
+		}
+	}
+	for l := range in.Request.Substreams {
+		if prev != nil && !affectedSet[l] {
+			m.copySubstream(in, g, caps, prev, l)
+			continue
+		}
+		dc := deltaFor(prev, degraded, l)
+		if err := m.composeSubstream(in, g, caps, sc, l, dc); err != nil {
+			return nil, fmt.Errorf("substream %d: %w", l, err)
+		}
+	}
+	return g, nil
+}
+
+// copySubstream carries an unaffected substream's placements and edges
+// over verbatim, deducting their capacity so the re-solved substreams
+// cannot double-book the same hosts.
+func (m *MinCost) copySubstream(in Input, g *ExecutionGraph, caps *capTracker, prev *ExecutionGraph, l int) {
+	rate := in.Request.Substreams[l].Rate
+	for _, p := range prev.Placements {
+		if p.Substream != l {
+			continue
+		}
+		g.Placements = append(g.Placements, p)
+		caps.consume(p.Host.ID, int(p.Rate))
+		caps.consumeCPU(p.Host.ID, int(p.Rate), procFor(in, p.Service))
+	}
+	for _, e := range prev.Edges {
+		if e.Substream == l {
+			g.Edges = append(g.Edges, e)
+		}
+	}
+	caps.consume(in.Source.ID, rate)
+	caps.consume(in.Dest.ID, rate)
+}
+
+// deltaFor builds the residual context for re-solving substream l against
+// prev. A nil prev yields a context with no residual flow — candidacy
+// filtering on degraded hosts still applies.
+func deltaFor(prev *ExecutionGraph, degraded map[overlay.ID]bool, l int) *deltaCtx {
+	dc := &deltaCtx{degraded: degraded}
+	if prev == nil || l >= len(prev.Request.Substreams) {
+		return dc
+	}
+	q := len(prev.Request.Substreams[l].Services)
+	dc.residual = make([]map[overlay.ID]int64, q)
+	for _, p := range prev.Placements {
+		if p.Substream != l || p.Stage < 0 || p.Stage >= q || degraded[p.Host.ID] {
+			continue
+		}
+		if dc.residual[p.Stage] == nil {
+			dc.residual[p.Stage] = make(map[overlay.ID]int64)
+		}
+		dc.residual[p.Stage][p.Host.ID] += int64(p.Rate)
+	}
+	dc.endpointResidual = int64(prev.Request.Substreams[l].Rate)
+	return dc
+}

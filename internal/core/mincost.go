@@ -72,6 +72,11 @@ type comp struct {
 	inNode   int
 	outNode  int
 	internal mincostflow.ArcID
+	// residual is the zero-cost arc carrying this instance's surviving
+	// prior flow during an incremental re-composition (ComposeDelta);
+	// hasResidual gates it because the zero ArcID is a valid arc.
+	residual    mincostflow.ArcID
+	hasResidual bool
 }
 
 // edgeRef remembers an inter-stage arc so its flow can be read back.
@@ -179,7 +184,7 @@ func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
 		}
 	}
 	for l := range in.Request.Substreams {
-		if err := m.composeSubstream(in, g, caps, sc, l); err != nil {
+		if err := m.composeSubstream(in, g, caps, sc, l, nil); err != nil {
 			return nil, fmt.Errorf("substream %d: %w", l, err)
 		}
 	}
@@ -208,8 +213,11 @@ func pruneTopK(stage []comp, k int) []comp {
 }
 
 // composeSubstream reduces substream l to a min-cost flow instance and
-// reads the placements and edges back from the arc flows.
-func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker, sc *composeScratch, l int) error {
+// reads the placements and edges back from the arc flows. dc is nil for a
+// full composition; an incremental re-composition (ComposeDelta) passes
+// the surviving prior flow, which is pre-seeded as zero-cost residual
+// arcs, and the degraded hosts, which are excluded from candidacy.
+func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker, sc *composeScratch, l int, dc *deltaCtx) error {
 	chain := stageServices(in.Request, l)
 	rate := in.Request.Substreams[l].Rate
 	q := len(chain)
@@ -222,7 +230,13 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 			return fmt.Errorf("%w: no hosts offer %q", ErrNoFeasiblePlacement, svc)
 		}
 		for _, c := range cands {
+			if dc != nil && dc.degraded[c.Info.ID] {
+				continue
+			}
 			stages[j] = append(stages[j], comp{host: c.Info, drop: c.Report.DropRatio, util: c.Report.Utilization()})
+		}
+		if len(stages[j]) == 0 {
+			return fmt.Errorf("%w: every host offering %q is degraded", ErrNoFeasiblePlacement, svc)
 		}
 		stages[j] = pruneTopK(stages[j], m.TopK)
 	}
@@ -235,9 +249,17 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 	)
 	srcOut := fg.AddNode()
 	dstIn := fg.AddNode()
-	// Source uplink and destination downlink capacities.
-	fg.AddArc(src, srcOut, int64(caps.get(in.Source.ID)), 0)
-	fg.AddArc(dstIn, sink, int64(caps.get(in.Dest.ID)), 0)
+	// Source uplink and destination downlink capacities. A re-composed
+	// substream is already flowing, so its prior rate — invisible in the
+	// endpoints' measured availability — is credited back as residual
+	// capacity.
+	srcCap, dstCap := int64(caps.get(in.Source.ID)), int64(caps.get(in.Dest.ID))
+	if dc != nil {
+		srcCap += dc.endpointResidual
+		dstCap += dc.endpointResidual
+	}
+	fg.AddArc(src, srcOut, srcCap, 0)
+	fg.AddArc(dstIn, sink, dstCap, 0)
 	for j := range stages {
 		proc := procFor(in, chain[j])
 		for k := range stages[j] {
@@ -247,6 +269,15 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 			capUnits := int64(caps.capacityFor(c.host.ID, proc))
 			cost := int64(c.drop*costScale) + int64(c.util*utilTieScale)
 			c.internal = fg.AddArc(c.inNode, c.outNode, capUnits, cost)
+			if dc != nil && j < len(dc.residual) {
+				// Surviving prior placement: its current flow rides a
+				// zero-cost parallel arc, so keeping it costs nothing and
+				// the solver only re-routes the degraded share.
+				if r := dc.residual[j][c.host.ID]; r > 0 {
+					c.residual = fg.AddArc(c.inNode, c.outNode, r, 0)
+					c.hasResidual = true
+				}
+			}
 		}
 	}
 	const unbounded = int64(1) << 40
@@ -325,12 +356,18 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 		g.Request.Substreams[l].Rate = rate
 	}
 
-	// Read back placements and edges; update capacities.
+	// Read back placements and edges; update capacities. Residual flow is
+	// capacity the instance already holds, so only the newly routed share
+	// is deducted from the measured availability budget.
 	for j := range stages {
 		proc := procFor(in, chain[j])
 		for k := range stages[j] {
 			c := &stages[j][k]
-			f := fg.Flow(c.internal)
+			fresh := fg.Flow(c.internal)
+			f := fresh
+			if c.hasResidual {
+				f += fg.Flow(c.residual)
+			}
 			if f <= 0 {
 				continue
 			}
@@ -338,8 +375,8 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 				Substream: l, Stage: j, Service: chain[j],
 				Host: c.host, Rate: float64(f),
 			})
-			caps.consume(c.host.ID, int(f))
-			caps.consumeCPU(c.host.ID, int(f), proc)
+			caps.consume(c.host.ID, int(fresh))
+			caps.consumeCPU(c.host.ID, int(fresh), proc)
 		}
 	}
 	for _, e := range edges {

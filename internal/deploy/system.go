@@ -12,6 +12,7 @@ import (
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
 	"rasc.dev/rasc/internal/gossip"
+	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/netsim"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/services"
@@ -83,6 +84,13 @@ type SystemOptions struct {
 	// PlanetLab inter-site RTTs (up to ~330ms); deployments wanting no
 	// false suspicions should raise ProbeTimeout to ≥500ms.
 	Gossip gossip.Config
+
+	// Adaptation, when set, enables the event-driven adaptation control
+	// plane on every engine (periodic delivery-rate checks plus
+	// incremental reallocation on member-dead, breaker and drop-spike
+	// events). Adaptation loops reschedule forever, so such deployments
+	// must advance time with RunUntil.
+	Adaptation *stream.AdaptationConfig
 }
 
 // System is a running simulated deployment: a joined overlay with DHT,
@@ -207,6 +215,11 @@ func NewSystem(opts SystemOptions) *System {
 				n.RemovePeer(info.ID)
 				eng.OnPeerDead(info.ID)
 			})
+			// Disseminated digests feed the control plane's drop-spike
+			// trigger (a no-op until an AdaptationConfig arms it).
+			g.OnDigest(func(info overlay.NodeInfo, rep monitor.Report) {
+				eng.ObserveHostReport(info.ID, rep)
+			})
 			dir.SetView(g)
 			eng.SetStatsProvider(g.ReportFor)
 			g.Seed(roster)
@@ -214,6 +227,13 @@ func NewSystem(opts SystemOptions) *System {
 		}
 		for _, g := range s.Gossip {
 			g.Start()
+		}
+	}
+	// Enable adaptation only after the deployment has quiesced: the check
+	// loop reschedules forever.
+	if opts.Adaptation != nil {
+		for _, eng := range s.Engines {
+			eng.EnableAdaptation(*opts.Adaptation)
 		}
 	}
 	// Start background cross-traffic only after the control plane has

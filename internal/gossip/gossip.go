@@ -219,6 +219,7 @@ type Gossip struct {
 	digestFn    func() Digest
 	onDead      []func(overlay.NodeInfo)
 	onJoin      []func(overlay.NodeInfo)
+	onDigest    []func(overlay.NodeInfo, monitor.Report)
 
 	rounds      int64
 	syncs       int64
@@ -266,6 +267,13 @@ func (g *Gossip) OnMemberDead(fn func(overlay.NodeInfo)) { g.onDead = append(g.o
 // OnMemberJoin registers a callback fired when a previously unknown member
 // enters the view alive.
 func (g *Gossip) OnMemberJoin(fn func(overlay.NodeInfo)) { g.onJoin = append(g.onJoin, fn) }
+
+// OnDigest registers a callback fired (on the protocol goroutine) whenever
+// a member's disseminated monitoring digest advances — the stats-driven
+// feed of the adaptation control plane (drop-ratio spike detection).
+func (g *Gossip) OnDigest(fn func(overlay.NodeInfo, monitor.Report)) {
+	g.onDigest = append(g.onDigest, fn)
+}
 
 // Seed adds known peers as alive members without any network exchange
 // (bootstrap state, e.g. from the overlay leaf set after joining).
@@ -528,6 +536,18 @@ func (g *Gossip) pickRelays(target overlay.ID, k int) []overlay.NodeInfo {
 // the usual suspicion window to refute. It reports whether a member was
 // suspected; like every Gossip method it must run on the protocol
 // goroutine.
+// InfoByAddr resolves a transport address to the member carrying it, in
+// any state — for callers translating transport-level signals (circuit
+// breakers) into identity-keyed control-plane events.
+func (g *Gossip) InfoByAddr(addr transport.Addr) (overlay.NodeInfo, bool) {
+	for _, m := range g.members {
+		if m.Info.Addr == addr {
+			return m.Info, true
+		}
+	}
+	return overlay.NodeInfo{}, false
+}
+
 func (g *Gossip) SuspectAddr(addr transport.Addr) bool {
 	for id, m := range g.members {
 		if id == g.node.ID() || m.Info.Addr != addr || m.State != StateAlive {
@@ -866,6 +886,9 @@ func (g *Gossip) mergeDigest(m *member, d *Digest) bool {
 	}
 	m.Digest = *d
 	m.DigestAt = g.clk.Now()
+	for _, fn := range g.onDigest {
+		fn(m.Info, m.Digest.Report)
+	}
 	return true
 }
 

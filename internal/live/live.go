@@ -17,6 +17,7 @@ import (
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
 	"rasc.dev/rasc/internal/gossip"
+	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
@@ -74,6 +75,15 @@ type Config struct {
 	// drills on a live cluster, exercising the same retry and breaker
 	// machinery the tests exercise.
 	Chaos transport.ChaosConfig
+	// Clock is the node's time source (default: the wall clock). Tests
+	// inject scaled or offset clocks so timeout behavior — join, submit,
+	// adaptation — runs on virtual time like the simulator's.
+	Clock clock.Clock
+	// Adaptation, when set, enables the event-driven adaptation control
+	// plane on the engine after the node joins: periodic delivery-rate
+	// checks plus incremental reallocation on member-dead, breaker-open
+	// and drop-spike events.
+	Adaptation *stream.AdaptationConfig
 }
 
 // Node is a running live RASC node.
@@ -90,6 +100,10 @@ type Node struct {
 	// Transport is the resilient send pipeline (nil when disabled); its
 	// breaker states feed /healthz and gossip suspicion.
 	Transport *transport.Resilient
+
+	// clk is the node's base clock (wall time unless injected), used for
+	// the off-loop waits (join, submit).
+	clk clock.Clock
 
 	closeOnce sync.Once
 }
@@ -116,15 +130,17 @@ func (l *loopEndpoint) SetDropHandler(h transport.Handler) {
 }
 func (l *loopEndpoint) Close() error { return l.inner.Close() }
 
-// loopClock posts timer callbacks onto the actor loop.
+// loopClock posts timer callbacks onto the actor loop. It wraps any base
+// clock — the wall clock in production, a scaled or offset clock in tests
+// — so the protocol stack's notion of time is injectable end to end.
 type loopClock struct {
-	real *clock.Real
+	base clock.Clock
 	post func(func())
 }
 
-func (c loopClock) Now() time.Duration { return c.real.Now() }
+func (c loopClock) Now() time.Duration { return c.base.Now() }
 func (c loopClock) After(d time.Duration, fn func()) func() {
-	return c.real.After(d, func() { c.post(fn) })
+	return c.base.After(d, func() { c.post(fn) })
 }
 
 // Start boots a live node: binds the listener, builds the protocol stack,
@@ -184,10 +200,16 @@ func Start(cfg Config) (*Node, error) {
 				return
 			}
 			// First-hand delivery failure: hand the peer to the membership
-			// layer ahead of its own probe timeouts.
+			// layer ahead of its own probe timeouts, and publish the
+			// breaker verdict to the adaptation control plane so affected
+			// streams shift away before the gossip verdict lands.
 			n.post(func() {
-				if n.Gossip != nil {
-					n.Gossip.SuspectAddr(peer)
+				if n.Gossip == nil {
+					return
+				}
+				n.Gossip.SuspectAddr(peer)
+				if info, ok := n.Gossip.InfoByAddr(peer); ok {
+					n.Engine.OnBreakerOpen(info.ID)
 				}
 			})
 		}
@@ -197,7 +219,11 @@ func Start(cfg Config) (*Node, error) {
 	n.ep = ep
 	post := n.post
 	lep := &loopEndpoint{inner: ep, post: post}
-	clk := loopClock{real: clock.NewReal(), post: post}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	n.clk = cfg.Clock
+	clk := loopClock{base: cfg.Clock, post: post}
 	name := cfg.Name
 	if name == "" {
 		name = string(ep.Addr())
@@ -228,6 +254,11 @@ func Start(cfg Config) (*Node, error) {
 				ov.RemovePeer(info.ID)
 				eng.OnPeerDead(info.ID)
 			})
+			// Disseminated digests feed the control plane's drop-spike
+			// trigger (a no-op until an AdaptationConfig arms it).
+			n.Gossip.OnDigest(func(info overlay.NodeInfo, rep monitor.Report) {
+				eng.ObserveHostReport(info.ID, rep)
+			})
 			dir.SetView(n.Gossip)
 			eng.SetStatsProvider(n.Gossip.ReportFor)
 		}
@@ -238,9 +269,15 @@ func Start(cfg Config) (*Node, error) {
 		}
 		n.Overlay.Join(transport.Addr(cfg.Bootstrap), func() { close(joined) })
 	})
+	// The join wait runs on the node's clock, not the wall clock, so tests
+	// on scaled virtual time bound the handshake consistently with every
+	// other timer in the stack.
+	joinTimeout := make(chan struct{})
+	cancelJoinTimer := cfg.Clock.After(cfg.JoinTimeout, func() { close(joinTimeout) })
 	select {
 	case <-joined:
-	case <-time.After(cfg.JoinTimeout):
+		cancelJoinTimer()
+	case <-joinTimeout:
 		n.Close()
 		return nil, fmt.Errorf("live: join through %s timed out", cfg.Bootstrap)
 	}
@@ -262,6 +299,9 @@ func Start(cfg Config) (*Node, error) {
 		if n.Gossip != nil {
 			n.Gossip.Seed(n.Overlay.Leafset())
 			n.Gossip.Start()
+		}
+		if cfg.Adaptation != nil {
+			n.Engine.EnableAdaptation(*cfg.Adaptation)
 		}
 	})
 	return n, nil
@@ -341,12 +381,18 @@ func (n *Node) SubmitContext(ctx context.Context, req spec.Request, composerName
 			ch <- result{graph: g, err: err}
 		})
 	})
+	// Bound the wait on the node's clock (injectable), not the wall
+	// clock, so scaled-time tests see submit deadlines consistent with
+	// the RPC timeouts the engine itself runs on.
+	expired := make(chan struct{})
+	cancelTimer := n.clk.After(timeout+time.Second, func() { close(expired) })
+	defer cancelTimer()
 	select {
 	case r := <-ch:
 		return r.graph, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-time.After(timeout + time.Second):
+	case <-expired:
 		return nil, fmt.Errorf("live: submit timed out")
 	}
 }

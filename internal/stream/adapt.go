@@ -1,26 +1,33 @@
 package stream
 
 import (
+	"sort"
 	"time"
 
+	"rasc.dev/rasc/internal/control"
 	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/spec"
 )
 
-// AdaptationConfig tunes the origin-side adaptation loop: the "dynamic"
-// half of dynamic rate allocation. The origin watches each of its live
-// applications' delivery rates; when a substream falls below
-// MinRateFraction of its requirement over a check interval (a failed or
-// badly congested component), the application is torn down and re-composed
-// from fresh discovery and monitoring state.
+// AdaptationConfig tunes the origin-side adaptation plane: the "dynamic"
+// half of dynamic rate allocation. The origin publishes typed events —
+// delivered rate below threshold (periodic sink check), member dead
+// (gossip), breaker open (transport), drop-ratio spike (disseminated
+// digests) — to a control.Controller, which reallocates rate
+// incrementally (core.MinCost.ComposeDelta shifts split ratios away from
+// the degraded hosts without restarting the stream) and falls back to a
+// full teardown-and-recompose when the delta solve is infeasible.
 type AdaptationConfig struct {
-	// Interval between checks (default 5s).
+	// Interval between delivery-rate checks (default 5s).
 	Interval time.Duration
 	// MinRateFraction of the required rate below which a substream
-	// triggers re-composition (default 0.5).
+	// publishes RateBelowThreshold (default 0.5).
 	MinRateFraction float64
-	// Composer used for re-composition (default MinCost).
+	// Composer used for re-composition (default MinCost). Composers
+	// implementing core.DeltaComposer get the incremental path; others
+	// always recompose in full.
 	Composer core.Composer
 	// UpgradeComposer is used for upgrade attempts of streams admitted
 	// below their desired rate (default MinCost with best-effort at
@@ -28,6 +35,14 @@ type AdaptationConfig struct {
 	UpgradeComposer core.Composer
 	// Timeout for the re-composition RPCs (default 10s).
 	Timeout time.Duration
+	// DropSpikeRatio is the disseminated drop ratio at or above which a
+	// host's digest publishes DropRatioSpike (0 disables the trigger).
+	DropSpikeRatio float64
+	// Control tunes the event controller (hysteresis, cooldown, retry
+	// backoff, concurrency, DisableIncremental). Clock is set by the
+	// engine; Cooldown defaults to 2×Interval and StrikeTTL to
+	// 2.5×Interval so strikes mean consecutive degraded checks.
+	Control control.Config
 }
 
 func (c *AdaptationConfig) defaults() {
@@ -46,6 +61,15 @@ func (c *AdaptationConfig) defaults() {
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
 	}
+	if c.Control.Cooldown <= 0 {
+		// A check measuring the recovery dip of a reallocation that just
+		// landed must fall inside the cooldown, or it would trigger a
+		// spurious follow-up.
+		c.Control.Cooldown = 2 * c.Interval
+	}
+	if c.Control.StrikeTTL <= 0 {
+		c.Control.StrikeTTL = 2*c.Interval + c.Interval/2
+	}
 }
 
 // originState tracks one application originated at this engine for
@@ -57,7 +81,6 @@ type originState struct {
 	desired      spec.Request
 	lastReceived map[int]int64
 	lastCheck    time.Duration
-	recomposing  bool
 }
 
 // admittedBelowDesired reports whether the live graph carries less than
@@ -74,14 +97,18 @@ func (st *originState) admittedBelowDesired() bool {
 	return false
 }
 
-// EnableAdaptation starts the periodic delivery-rate check. Calling it
-// again replaces the configuration. The loop schedules itself forever;
-// deterministic simulations must advance time with RunUntil (not Run) once
-// adaptation is enabled, and should DisableAdaptation when draining.
+// EnableAdaptation starts the periodic delivery-rate check and (re)builds
+// the event controller. Calling it again replaces the configuration. The
+// loop schedules itself forever; deterministic simulations must advance
+// time with RunUntil (not Run) once adaptation is enabled, and should
+// DisableAdaptation when draining.
 func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
 	cfg.defaults()
 	e.DisableAdaptation()
 	e.adaptCfg = &cfg
+	cc := cfg.Control
+	cc.Clock = e.clk
+	e.controller = control.New(cc, e)
 	var tick func()
 	tick = func() {
 		e.checkAdaptation(cfg)
@@ -90,57 +117,103 @@ func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
 	e.adaptCancel = e.clk.After(cfg.Interval, tick)
 }
 
-// DisableAdaptation stops the check loop.
+// DisableAdaptation stops the check loop and closes the controller. The
+// membership fast path (OnPeerDead) stays armed: it lazily rebuilds a
+// controller from the stored configuration, as before the control plane
+// existed.
 func (e *Engine) DisableAdaptation() {
 	if e.adaptCancel != nil {
 		e.adaptCancel()
 		e.adaptCancel = nil
 	}
+	if e.controller != nil {
+		e.controller.Close()
+		e.controller = nil
+	}
 }
 
-// Recompositions counts adaptation-triggered re-compositions (diagnostics
-// and tests).
-func (e *Engine) Recompositions() int64 { return e.recompositions }
-
-// OnPeerDead re-composes every origin application that has a component
-// placed on the dead node, immediately — the membership-event fast path,
-// fired by the gossip failure detector well before the periodic
-// delivery-rate check would notice the degradation. It uses the
-// configuration stored by EnableAdaptation (or its defaults when
-// adaptation was never enabled).
-func (e *Engine) OnPeerDead(id overlay.ID) {
-	cfg := e.adaptCfg
-	if cfg == nil {
+// adaptConfig returns the stored adaptation configuration, installing the
+// defaults when adaptation was never enabled.
+func (e *Engine) adaptConfig() *AdaptationConfig {
+	if e.adaptCfg == nil {
 		c := AdaptationConfig{}
 		c.defaults()
-		cfg = &c
+		e.adaptCfg = &c
 	}
-	for reqID, st := range e.origins {
-		if st.recomposing {
-			continue
-		}
-		for _, p := range st.graph.Placements {
-			if p.Host.ID == id {
-				e.recompose(reqID, st, cfg.Composer, cfg.Timeout)
-				break
-			}
-		}
-	}
+	return e.adaptCfg
 }
 
-// checkAdaptation inspects every live origin application and re-composes
-// the degraded ones.
+// ensureController returns the engine's controller, lazily building one
+// from the stored configuration for engines that never called
+// EnableAdaptation (the member-dead fast path works regardless).
+func (e *Engine) ensureController() *control.Controller {
+	if e.controller == nil {
+		cfg := e.adaptConfig()
+		cc := cfg.Control
+		cc.Clock = e.clk
+		e.controller = control.New(cc, e)
+	}
+	return e.controller
+}
+
+// Controller exposes the engine's adaptation controller (nil until an
+// event or EnableAdaptation builds one) for stats and tests.
+func (e *Engine) Controller() *control.Controller { return e.controller }
+
+// Recompositions counts adaptation-triggered reallocation attempts, both
+// incremental and full (diagnostics and tests).
+func (e *Engine) Recompositions() int64 { return e.recompositions }
+
+// Reallocations counts the incremental (delta-compose) subset of
+// Recompositions.
+func (e *Engine) Reallocations() int64 { return e.reallocations }
+
+// OnPeerDead publishes a MemberDead event for every origin application:
+// the membership fast path, fired by the gossip failure detector well
+// before the periodic delivery-rate check would notice the degradation.
+func (e *Engine) OnPeerDead(id overlay.ID) {
+	e.ensureController().Publish(control.Event{Kind: control.MemberDead, Host: id})
+}
+
+// OnBreakerOpen publishes a BreakerOpen event: the transport circuit
+// breaker observed consecutive send failures toward the host, an earlier
+// signal than the gossip verdict.
+func (e *Engine) OnBreakerOpen(id overlay.ID) {
+	e.ensureController().Publish(control.Event{Kind: control.BreakerOpen, Host: id})
+}
+
+// ObserveHostReport feeds a disseminated monitoring digest into the
+// control plane: a drop ratio at or above the configured spike threshold
+// publishes DropRatioSpike for the host (the controller's hysteresis
+// absorbs isolated noisy digests).
+func (e *Engine) ObserveHostReport(id overlay.ID, rep monitor.Report) {
+	cfg := e.adaptConfig()
+	if cfg.DropSpikeRatio <= 0 || rep.DropRatio < cfg.DropSpikeRatio {
+		return
+	}
+	if len(e.origins) == 0 {
+		return
+	}
+	e.ensureController().Publish(control.Event{Kind: control.DropRatioSpike, Host: id})
+}
+
+// checkAdaptation measures every live origin application's delivered rate
+// and publishes the resulting events. Origins are visited in sorted order
+// so event order — and therefore controller scheduling — is deterministic.
 func (e *Engine) checkAdaptation(cfg AdaptationConfig) {
 	now := e.clk.Now()
-	for reqID, st := range e.origins {
-		if st.recomposing {
-			continue
-		}
+	ids := make([]string, 0, len(e.origins))
+	for id := range e.origins {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, reqID := range ids {
+		st := e.origins[reqID]
 		elapsed := now - st.lastCheck
 		if elapsed <= 0 {
 			continue
 		}
-		degraded := false
+		var degraded []int
 		for l, ss := range st.graph.Request.Substreams {
 			sink := e.sinks[sinkKey(reqID, l)]
 			if sink == nil {
@@ -150,28 +223,43 @@ func (e *Engine) checkAdaptation(cfg AdaptationConfig) {
 			st.lastReceived[l] = sink.Received
 			rate := float64(got) / elapsed.Seconds()
 			if rate < cfg.MinRateFraction*float64(ss.Rate) {
-				degraded = true
+				degraded = append(degraded, l)
 			}
 		}
 		st.lastCheck = now
-		if degraded {
-			e.recompose(reqID, st, cfg.Composer, cfg.Timeout)
+		if len(degraded) > 0 {
+			// The sink check knows which substreams starve but not which
+			// host is at fault; with no one to shift away from, the
+			// controller goes straight to a full recompose.
+			e.controller.Publish(control.Event{
+				Kind: control.RateBelowThreshold, App: reqID, Substreams: degraded,
+			})
 			continue
 		}
 		// Upgrade path: a healthy application admitted below its desired
 		// rate retries composition at the full requirement — capacity
 		// may have freed since admission (dynamic rate allocation).
 		if st.admittedBelowDesired() {
-			e.recompose(reqID, st, cfg.UpgradeComposer, cfg.Timeout)
+			e.controller.Publish(control.Event{Kind: control.UpgradePossible, App: reqID})
 		}
 	}
 }
 
-// recompose tears the application down and submits it again with fresh
-// state. The request keeps its ID; its sinks are replaced, so delivery
-// statistics restart from the re-composition.
-func (e *Engine) recompose(reqID string, st *originState, composer core.Composer, timeout time.Duration) {
-	st.recomposing = true
+// Recompose implements control.Actions: tear the application down and
+// submit it again with fresh discovery and monitoring state. The request
+// keeps its ID; its sinks are replaced, so delivery statistics restart
+// from the re-composition.
+func (e *Engine) Recompose(app string, upgrade bool, done func(error)) {
+	st, ok := e.origins[app]
+	if !ok {
+		done(control.ErrUnknownApp)
+		return
+	}
+	cfg := e.adaptConfig()
+	composer := cfg.Composer
+	if upgrade {
+		composer = cfg.UpgradeComposer
+	}
 	e.recompositions++
 	req := st.desired
 	if req.ID == "" {
@@ -179,20 +267,22 @@ func (e *Engine) recompose(reqID string, st *originState, composer core.Composer
 	}
 	oldGraph := st.graph
 	desired := st.desired
-	e.Teardown(st.graph, timeout)
-	delete(e.origins, reqID)
-	e.Submit(req, composer, timeout, func(g *core.ExecutionGraph, err error) {
+	e.Teardown(st.graph, cfg.Timeout)
+	delete(e.origins, app)
+	e.Submit(req, composer, cfg.Timeout, func(g *core.ExecutionGraph, err error) {
 		if err != nil {
 			// Nothing composable right now — e.g. a lookup routed
 			// through a just-failed node. Re-register the old state so
-			// the next check retries; by then the failed RPCs have
-			// pruned the dead peer from the routing tables.
-			e.origins[reqID] = &originState{
+			// the controller's backoff retry finds it; by then the
+			// failed RPCs have pruned the dead peer from the routing
+			// tables.
+			e.origins[app] = &originState{
 				graph:        oldGraph,
 				desired:      desired,
 				lastReceived: make(map[int]int64),
 				lastCheck:    e.clk.Now(),
 			}
 		}
+		done(err)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/control"
 	"rasc.dev/rasc/internal/discovery"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
@@ -92,11 +93,13 @@ type Engine struct {
 	sources map[string]*source
 
 	// origins tracks applications submitted from this engine, for the
-	// adaptation loop.
+	// adaptation plane.
 	origins        map[string]*originState
 	adaptCancel    func()
 	adaptCfg       *AdaptationConfig
+	controller     *control.Controller
 	recompositions int64
+	reallocations  int64
 
 	// statsProvider, when set, answers composition-time stats queries from
 	// a locally converged view (the gossip digest store) instead of

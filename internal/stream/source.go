@@ -28,6 +28,12 @@ type source struct {
 	stopped      bool
 }
 
+// retarget swaps the source's stage-0 split for a re-composed one. The
+// emission loop keeps its cadence and sequence numbers — only the
+// downstream targets change, which is what makes incremental reallocation
+// seamless at the origin.
+func (s *source) retarget(outs []outSpec) { s.split = newSplitter(outs) }
+
 // Emitted returns the number of units a source has sent (0 for nil).
 func emittedOf(s *source) int64 {
 	if s == nil {

@@ -46,6 +46,17 @@ func (e *Engine) Submit(req spec.Request, composer core.Composer, timeout time.D
 func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout time.Duration,
 	hosts map[string][]overlay.NodeInfo, cb func(*core.ExecutionGraph, error)) {
 
+	e.collectStats(hosts, timeout, func(reports map[overlay.ID]monitor.Report) {
+		e.compose(req, composer, timeout, hosts, reports, cb)
+	})
+}
+
+// collectStats fetches monitoring reports for every distinct host in the
+// candidate map — from the local monitor, the gossip-fresh stats provider,
+// or a stats RPC, in that order — and calls finish with what it got.
+func (e *Engine) collectStats(hosts map[string][]overlay.NodeInfo, timeout time.Duration,
+	finishWith func(map[overlay.ID]monitor.Report)) {
+
 	// Deterministic ordering: distinct hosts sorted by ID.
 	byID := make(map[overlay.ID]overlay.NodeInfo)
 	for _, list := range hosts {
@@ -62,7 +73,7 @@ func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout t
 	reports := make(map[overlay.ID]monitor.Report)
 	remaining := len(unique)
 	finish := func() {
-		e.compose(req, composer, timeout, hosts, reports, cb)
+		finishWith(reports)
 	}
 	if remaining == 0 {
 		finish()
@@ -110,11 +121,11 @@ func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout t
 	}
 }
 
-// compose builds the composer input and runs composition, then moves on to
-// instantiation.
-func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.Duration,
-	hosts map[string][]overlay.NodeInfo, reports map[overlay.ID]monitor.Report,
-	cb func(*core.ExecutionGraph, error)) {
+// buildInput assembles the composer input from discovery and monitoring
+// results: the origin is both source and destination, and hosts whose
+// stats fetch failed are excluded from candidacy.
+func (e *Engine) buildInput(req spec.Request, hosts map[string][]overlay.NodeInfo,
+	reports map[overlay.ID]monitor.Report) core.Input {
 
 	self := e.node.Info()
 	own := e.Monitor.Report(e.clk.Now())
@@ -140,7 +151,16 @@ func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.
 		sort.Slice(cands, func(i, j int) bool { return cands[i].Info.ID.Cmp(cands[j].Info.ID) < 0 })
 		in.Candidates[svc] = cands
 	}
-	g, err := composer.Compose(in)
+	return in
+}
+
+// compose builds the composer input and runs composition, then moves on to
+// instantiation.
+func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.Duration,
+	hosts map[string][]overlay.NodeInfo, reports map[overlay.ID]monitor.Report,
+	cb func(*core.ExecutionGraph, error)) {
+
+	g, err := composer.Compose(e.buildInput(req, hosts, reports))
 	if err != nil {
 		cb(nil, err)
 		return
@@ -184,25 +204,7 @@ func (e *Engine) instantiate(g *core.ExecutionGraph, desired spec.Request, timeo
 	}
 	for _, p := range g.Placements {
 		p := p
-		sizes := e.stageUnitBytes(g.Request, p.Substream)
-		def := e.Catalog[p.Service]
-		ratio := def.RateRatio
-		if ratio <= 0 {
-			ratio = 1
-		}
-		msg := instantiateMsg{
-			Req:       g.Request.ID,
-			Substream: p.Substream,
-			Stage:     p.Stage,
-			Service:   p.Service,
-			Rate:      p.Rate,
-			UnitBytes: sizes[p.Stage],
-			ProcHint:  def.ProcPerUnit,
-			RateRatio: ratio,
-			BytesOut:  sizes[p.Stage+1],
-			Outs:      byPlacement[componentKey(g.Request.ID, p.Substream, p.Stage)+"@"+p.Host.ID.String()],
-		}
-		body, _ := json.Marshal(msg)
+		body, _ := json.Marshal(e.instantiateMsgFor(g, p, byPlacement))
 		e.node.Request(p.Host.Addr, appInstantiate, body, timeout, func(_ []byte, err error) {
 			if err != nil {
 				failed = true
@@ -212,6 +214,29 @@ func (e *Engine) instantiate(g *core.ExecutionGraph, desired spec.Request, timeo
 				done()
 			}
 		})
+	}
+}
+
+// instantiateMsgFor builds the instantiation message for one placement of
+// an execution graph.
+func (e *Engine) instantiateMsgFor(g *core.ExecutionGraph, p core.Placement, byPlacement map[string][]outSpec) instantiateMsg {
+	sizes := e.stageUnitBytes(g.Request, p.Substream)
+	def := e.Catalog[p.Service]
+	ratio := def.RateRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+	return instantiateMsg{
+		Req:       g.Request.ID,
+		Substream: p.Substream,
+		Stage:     p.Stage,
+		Service:   p.Service,
+		Rate:      p.Rate,
+		UnitBytes: sizes[p.Stage],
+		ProcHint:  def.ProcPerUnit,
+		RateRatio: ratio,
+		BytesOut:  sizes[p.Stage+1],
+		Outs:      byPlacement[componentKey(g.Request.ID, p.Substream, p.Stage)+"@"+p.Host.ID.String()],
 	}
 }
 

@@ -3,6 +3,7 @@ package rasc
 import (
 	"fmt"
 
+	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -43,6 +44,27 @@ func WithSchedPolicy(policy string) Option { return func(o *Options) { o.SchedPo
 // gossip-disseminated monitoring digests, and detected node deaths
 // triggering immediate recomposition at the origins.
 func WithGossip(enabled bool) Option { return func(o *Options) { o.EnableGossip = enabled } }
+
+// AdaptationConfig tunes the event-driven adaptation control plane: the
+// periodic delivery-rate check interval and threshold, the composers used
+// for incremental and full re-composition, the drop-spike trigger, and
+// the controller's hysteresis/cooldown/backoff/concurrency knobs (the
+// Control field). The zero value selects the defaults documented on each
+// field.
+type AdaptationConfig = stream.AdaptationConfig
+
+// WithAdaptation enables the adaptation control plane on every node of
+// the deployment. Origins then react to delivered-rate drops, gossip
+// member-dead events, transport breaker trips and disseminated drop-ratio
+// spikes by incrementally reallocating rate away from degraded hosts
+// (falling back to a full recompose when the delta solve is infeasible).
+// Pair it with WithGossip to arm the failure-detection triggers.
+//
+// Adaptation loops reschedule forever, so virtual time must be advanced
+// with System.Run for a bounded duration (the event queue never drains).
+func WithAdaptation(cfg AdaptationConfig) Option {
+	return func(o *Options) { o.Adaptation = &cfg }
+}
 
 // WithChaos wraps every node's transport endpoint with seeded fault
 // injection. Each node derives its own deterministic seed from the

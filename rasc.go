@@ -88,6 +88,9 @@ type Options struct {
 	// Chaos, when set, wraps every node's transport endpoint with seeded
 	// fault injection (see WithChaos).
 	Chaos *ChaosConfig
+	// Adaptation, when set, enables the event-driven adaptation control
+	// plane on every node (see WithAdaptation).
+	Adaptation *AdaptationConfig
 }
 
 // System is a running simulated RASC deployment.
@@ -133,6 +136,7 @@ func newSystem(opts Options) *System {
 		HeterogeneousCPU: true,
 		EnableGossip:     opts.EnableGossip,
 		Chaos:            opts.Chaos,
+		Adaptation:       opts.Adaptation,
 		// The default 300ms probe timeout sits below the topology's worst
 		// inter-site RTT (~330ms); 500ms keeps healthy members from being
 		// falsely suspected.
@@ -304,9 +308,15 @@ func (s *System) EnableAdaptation(i int, interval time.Duration) {
 	s.d.Engines[i].EnableAdaptation(stream.AdaptationConfig{Interval: interval})
 }
 
-// Recompositions reports how many times node i's adaptation loop has
-// re-composed an application.
+// Recompositions reports how many adaptation actions node i has attempted
+// (incremental reallocations and full recompositions combined).
 func (s *System) Recompositions(i int) int64 { return s.d.Engines[i].Recompositions() }
+
+// Reallocations reports how many of node i's adaptation actions took the
+// incremental path — a delta solve that shifted split ratios away from
+// degraded hosts without tearing the application down. Always a subset of
+// Recompositions.
+func (s *System) Reallocations(i int) int64 { return s.d.Engines[i].Reallocations() }
 
 // MembershipSummary is a node's gossip view at a glance: alive, suspect
 // and dead member counts plus the age of the stalest monitoring digest it
