@@ -57,6 +57,9 @@ func main() {
 
 		adaptIvl  = flag.Duration("adapt-interval", 0, "enable the adaptation control plane with this delivery-rate check period (0: disabled)")
 		adaptFull = flag.Bool("adapt-full-only", false, "disable incremental reallocation: every adaptation action tears down and re-composes in full")
+
+		traceEvents = flag.Int("trace-events", 0, "attach a per-unit event buffer of this capacity, served at /debug/rasc/trace (0: disabled)")
+		journalCap  = flag.Int("decision-journal", 0, "adaptation decision journal retention, served at /debug/rasc/decisions (0: default 256)")
 	)
 	flag.Parse()
 
@@ -96,7 +99,9 @@ func main() {
 			Delay:       *chaosDelay,
 			DelayJitter: *chaosJitter,
 		},
-		Adaptation: adaptation,
+		Adaptation:      adaptation,
+		TraceEvents:     *traceEvents,
+		DecisionJournal: *journalCap,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "start: %v\n", err)
@@ -110,7 +115,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer adm.Close()
-		fmt.Printf("admin endpoint at http://%s (/metrics /healthz /debug/pprof)\n", adm.Addr())
+		fmt.Printf("admin endpoint at http://%s (/metrics /healthz /debug/rasc/* /debug/pprof)\n", adm.Addr())
 	}
 	fmt.Printf("node up at %s", node.Addr())
 	if len(services) > 0 {

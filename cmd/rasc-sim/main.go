@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +73,7 @@ func main() {
 		unit     = flag.Int("unit", 1250, "data unit size in bytes")
 		traceOn  = flag.Bool("trace", false, "trace per-unit events and print a sample timeline")
 		telOut   = flag.String("telemetry", "", "dump a final runtime telemetry snapshot (Prometheus text format) to this file, or \"-\" for stdout")
+		decOut   = flag.String("decisions", "", "dump the adaptation decision journal (JSON) to this file, or \"-\" for stdout as readable text")
 		workFile = flag.String("workload", "", "replay a JSON workload file instead of a single request")
 		dotOut   = flag.String("dot", "", "write the execution graph in Graphviz dot format to this file")
 		gossipOn = flag.Bool("gossip", false, "run the gossip membership protocol: view-backed lookups, gossip-fresh stats, failure-triggered recomposition")
@@ -140,6 +142,7 @@ func main() {
 	if *workFile != "" {
 		replayWorkload(sys, *workFile, cmp, *duration)
 		dumpTelemetry(sys, *telOut)
+		dumpDecisions(sys, *decOut)
 		return
 	}
 	fmt.Printf("submitting %v at %d Kbps (%d units/sec) via %s from node %d\n",
@@ -187,6 +190,7 @@ func main() {
 		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
 	}
 	dumpTelemetry(sys, *telOut)
+	dumpDecisions(sys, *decOut)
 }
 
 // multiRun repeats the single-request scenario on n independent
@@ -253,4 +257,27 @@ func dumpTelemetry(sys *rasc.System, dest string) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote telemetry snapshot to %s\n", dest)
+}
+
+// dumpDecisions writes the deployment's adaptation decision journal: as
+// readable text to stdout for "-", as JSON to a file otherwise, nowhere
+// when unset.
+func dumpDecisions(sys *rasc.System, dest string) {
+	if dest == "" {
+		return
+	}
+	ds := sys.Decisions()
+	if dest == "-" {
+		fmt.Printf("\nadaptation decisions (%d):\n%s", len(ds), trace.FormatDecisions(ds))
+		return
+	}
+	b, err := json.MarshalIndent(ds, "", "  ")
+	if err == nil {
+		err = os.WriteFile(dest, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decisions: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %d adaptation decisions to %s\n", len(ds), dest)
 }

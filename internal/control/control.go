@@ -80,6 +80,9 @@ type Config struct {
 	// teardown-and-recompose path — the pre-control-plane baseline, kept
 	// for comparison experiments.
 	DisableIncremental bool
+	// Observer, when set, receives decision-plane callbacks (event gate
+	// verdicts, launches, outcomes) for the tracing layer.
+	Observer Observer
 }
 
 func (c *Config) defaults() {
@@ -186,6 +189,46 @@ type Stats struct {
 	// Failures counts reallocation attempts that errored and were
 	// re-armed with backoff.
 	Failures int64
+}
+
+// AppStatus is one application's controller-side posture, as reported by
+// AppStatuses for introspection endpoints.
+type AppStatus struct {
+	App      string        `json:"app"`
+	Inflight bool          `json:"inflight"`
+	Pending  bool          `json:"pending"`
+	Backoff  time.Duration `json:"backoff"`
+	// CooldownRemaining is how much of the post-success cooldown is left
+	// (0 when expired).
+	CooldownRemaining time.Duration `json:"cooldown_remaining"`
+	RateStrikes       int           `json:"rate_strikes"`
+}
+
+// AppStatuses snapshots every tracked application's gate state, sorted by
+// application ID. Like the rest of the controller it must be called from
+// the Clock's execution context.
+func (c *Controller) AppStatuses() []AppStatus {
+	now := c.cfg.Clock.Now()
+	out := make([]AppStatus, 0, len(c.apps))
+	for app, st := range c.apps {
+		s := AppStatus{
+			App:         app,
+			Inflight:    st.inflight,
+			Pending:     st.pending != nil,
+			Backoff:     st.backoff,
+			RateStrikes: st.rateStrikes,
+		}
+		if st.cooldownUntil > now {
+			s.CooldownRemaining = st.cooldownUntil - now
+		}
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].App < out[j-1].App; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // Controller consumes adaptation events and drives reallocations through
@@ -317,7 +360,7 @@ func (c *Controller) handle(ev Event) {
 		// about to be declared) gone, waiting only widens the dip. They
 		// are edge-triggered — fired once — so gated work is latched.
 		c.forApps(ev, func(app string) {
-			c.request(app, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, true)
+			c.request(app, &ev, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, true)
 		})
 	case DropRatioSpike:
 		h := c.hosts[ev.Host]
@@ -327,15 +370,17 @@ func (c *Controller) handle(ev Event) {
 		}
 		if !c.strike(&h.strikes, &h.lastStrike, c.cfg.DropHysteresis) {
 			telSuppressed.With("hysteresis").Inc()
+			c.observeGate(ev.App, ev, GateHysteresis, false)
 			return
 		}
 		c.forApps(ev, func(app string) {
-			c.request(app, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, false)
+			c.request(app, &ev, &work{degraded: map[overlay.ID]bool{ev.Host: true}, allSubs: true}, false)
 		})
 	case RateBelowThreshold:
 		st := c.app(ev.App)
 		if !c.strike(&st.rateStrikes, &st.lastStrike, c.cfg.RateHysteresis) {
 			telSuppressed.With("hysteresis").Inc()
+			c.observeGate(ev.App, ev, GateHysteresis, false)
 			return
 		}
 		w := &work{}
@@ -354,9 +399,9 @@ func (c *Controller) handle(ev Event) {
 				w.substreams[l] = true
 			}
 		}
-		c.request(ev.App, w, false)
+		c.request(ev.App, &ev, w, false)
 	case UpgradePossible:
-		c.request(ev.App, &work{full: true, upgrade: true, allSubs: true}, false)
+		c.request(ev.App, &ev, &work{full: true, upgrade: true, allSubs: true}, false)
 	}
 }
 
@@ -378,14 +423,19 @@ func (c *Controller) forApps(ev Event, fn func(app string)) {
 // are remembered and launched when the gate clears; level-triggered events
 // (delivered rate below threshold — re-published every check interval
 // while the condition persists) are dropped, so that a condition which
-// cleared on its own does not trigger a stale reallocation later.
-func (c *Controller) request(app string, w *work, latch bool) {
+// cleared on its own does not trigger a stale reallocation later. ev is
+// the event that carried the work, nil when re-requesting merged pending
+// work (the original events were already observed).
+func (c *Controller) request(app string, ev *Event, w *work, latch bool) {
 	st := c.app(app)
 	if st.inflight {
 		if latch {
 			c.addPending(st, w)
 		}
 		telSuppressed.With("inflight").Inc()
+		if ev != nil {
+			c.observeGate(app, *ev, GateInflight, latch)
+		}
 		return
 	}
 	if st.timerArmed {
@@ -397,6 +447,9 @@ func (c *Controller) request(app string, w *work, latch bool) {
 			c.addPending(st, w)
 		}
 		telSuppressed.With("backoff").Inc()
+		if ev != nil {
+			c.observeGate(app, *ev, GateBackoff, latch)
+		}
 		return
 	}
 	now := c.cfg.Clock.Now()
@@ -406,6 +459,9 @@ func (c *Controller) request(app string, w *work, latch bool) {
 			c.armTimer(app, st, st.cooldownUntil-now)
 		}
 		telSuppressed.With("cooldown").Inc()
+		if ev != nil {
+			c.observeGate(app, *ev, GateCooldown, latch)
+		}
 		return
 	}
 	if c.inTotal >= c.cfg.MaxConcurrent {
@@ -414,7 +470,13 @@ func (c *Controller) request(app string, w *work, latch bool) {
 			c.enqueueWaiting(app)
 		}
 		telSuppressed.With("limit").Inc()
+		if ev != nil {
+			c.observeGate(app, *ev, GateLimit, latch)
+		}
 		return
+	}
+	if ev != nil {
+		c.observeGate(app, *ev, GateNone, false)
 	}
 	c.launch(app, st, w)
 }
@@ -462,7 +524,7 @@ func (c *Controller) flushPending(app string) {
 	}
 	w := st.pending
 	st.pending = nil
-	c.request(app, w, true)
+	c.request(app, nil, w, true)
 }
 
 // dispatchWaiting launches queued work as global slots free up.
@@ -487,7 +549,9 @@ func (c *Controller) launch(app string, st *appState, w *work) {
 	if w.full {
 		mode = "full"
 	}
-	onDone := func(err error) { c.finish(app, st, w, mode, err) }
+	c.observeLaunch(app, mode, w)
+	fellBack := false
+	onDone := func(err error) { c.finish(app, st, w, mode, fellBack, err) }
 	if w.full {
 		c.act.Recompose(app, w.upgrade, onDone)
 		return
@@ -501,6 +565,7 @@ func (c *Controller) launch(app string, st *appState, w *work) {
 			c.stats.Fallbacks++
 			c.mu.Unlock()
 			mode = "full"
+			fellBack = true
 			c.act.Recompose(app, false, onDone)
 			return
 		}
@@ -510,7 +575,7 @@ func (c *Controller) launch(app string, st *appState, w *work) {
 
 // finish settles one completed reallocation: cooldown on success, backoff
 // re-arm on failure, then hands freed slots to waiting applications.
-func (c *Controller) finish(app string, st *appState, w *work, mode string, err error) {
+func (c *Controller) finish(app string, st *appState, w *work, mode string, fellBack bool, err error) {
 	st.inflight = false
 	c.inTotal--
 	telInflight.Set(float64(c.inTotal))
@@ -551,6 +616,9 @@ func (c *Controller) finish(app string, st *appState, w *work, mode string, err 
 		}
 		c.addPending(st, w)
 		c.armTimer(app, st, st.backoff)
+	}
+	if c.cfg.Observer != nil {
+		c.cfg.Observer.OnOutcome(app, mode, fellBack, err, st.backoff)
 	}
 	c.dispatchWaiting()
 }

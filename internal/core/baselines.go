@@ -20,6 +20,7 @@ func (Random) Name() string { return "random" }
 // Compose implements Composer.
 func (Random) Compose(in Input) (*ExecutionGraph, error) {
 	defer observeCompose(time.Now())
+	defer observeStats(in.Stats, time.Now())
 	if in.Rand == nil {
 		return nil, fmt.Errorf("core: Random composer needs Input.Rand")
 	}
@@ -41,6 +42,7 @@ func (Greedy) Name() string { return "greedy" }
 // Compose implements Composer.
 func (Greedy) Compose(in Input) (*ExecutionGraph, error) {
 	defer observeCompose(time.Now())
+	defer observeStats(in.Stats, time.Now())
 	return composeSingleInstance(in, "greedy", func(stage int, service string, feasible []Candidate) Candidate {
 		best := feasible[0]
 		for _, c := range feasible[1:] {
@@ -120,6 +122,9 @@ func composeSingleInstance(in Input, name string, pick func(stage int, service s
 		})
 		caps.consume(in.Source.ID, rate)
 		caps.consume(in.Dest.ID, rate)
+	}
+	if in.Stats != nil {
+		in.Stats.Feasible = true
 	}
 	return g, nil
 }

@@ -49,6 +49,7 @@ type deltaCtx struct {
 // teardown-and-recompose.
 func (m *MinCost) ComposeDelta(in Input, prev *ExecutionGraph, degraded map[overlay.ID]bool, affected []int) (*ExecutionGraph, error) {
 	defer observeCompose(time.Now())
+	defer observeStats(in.Stats, time.Now())
 	if err := in.Request.Validate(); err != nil {
 		return nil, err
 	}
@@ -94,12 +95,18 @@ func (m *MinCost) ComposeDelta(in Input, prev *ExecutionGraph, degraded map[over
 	for l := range in.Request.Substreams {
 		if prev != nil && !affectedSet[l] {
 			m.copySubstream(in, g, caps, prev, l)
+			if in.Stats != nil {
+				in.Stats.Copied++
+			}
 			continue
 		}
 		dc := deltaFor(prev, degraded, l)
 		if err := m.composeSubstream(in, g, caps, sc, l, dc); err != nil {
 			return nil, fmt.Errorf("substream %d: %w", l, err)
 		}
+	}
+	if in.Stats != nil {
+		in.Stats.Feasible = true
 	}
 	return g, nil
 }

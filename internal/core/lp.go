@@ -42,6 +42,7 @@ type hostBudget struct {
 // Compose implements Composer.
 func (lp LP) Compose(in Input) (*ExecutionGraph, error) {
 	defer observeCompose(time.Now())
+	defer observeStats(in.Stats, time.Now())
 	if err := in.Request.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,6 +74,9 @@ func (lp LP) Compose(in Input) (*ExecutionGraph, error) {
 		if err := composeSubstreamLP(in, g, budgets, l); err != nil {
 			return nil, fmt.Errorf("substream %d: %w", l, err)
 		}
+	}
+	if in.Stats != nil {
+		in.Stats.Feasible = true
 	}
 	return g, nil
 }

@@ -144,6 +144,7 @@ func (m *MinCost) Name() string {
 // Compose implements Composer.
 func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
 	defer observeCompose(time.Now())
+	defer observeStats(in.Stats, time.Now())
 	if err := in.Request.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,6 +188,9 @@ func (m *MinCost) Compose(in Input) (*ExecutionGraph, error) {
 		if err := m.composeSubstream(in, g, caps, sc, l, nil); err != nil {
 			return nil, fmt.Errorf("substream %d: %w", l, err)
 		}
+	}
+	if in.Stats != nil {
+		in.Stats.Feasible = true
 	}
 	return g, nil
 }
@@ -239,6 +243,12 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 			return fmt.Errorf("%w: every host offering %q is degraded", ErrNoFeasiblePlacement, svc)
 		}
 		stages[j] = pruneTopK(stages[j], m.TopK)
+	}
+	if st := in.Stats; st != nil {
+		st.Substreams++
+		for j := range stages {
+			st.Candidates += len(stages[j])
+		}
 	}
 
 	fg := sc.graph
@@ -342,6 +352,12 @@ func (m *MinCost) composeSubstream(in Input, g *ExecutionGraph, caps *capTracker
 	}
 
 	res, err := m.solve(sc, src, sink, int64(rate))
+	if st := in.Stats; st != nil {
+		st.Nodes += fg.NumNodes()
+		st.Arcs += fg.NumArcs()
+		st.Iterations += res.Iterations
+		st.Flow += res.Flow
+	}
 	if err != nil {
 		return err
 	}

@@ -24,3 +24,12 @@ var (
 func observeCompose(start time.Time) {
 	telComposeDuration.Observe(time.Since(start).Seconds())
 }
+
+// observeStats fills a caller-provided ComposeStats' duration; use as
+// `defer observeStats(in.Stats, time.Now())` next to observeCompose.
+// A nil stats is a no-op.
+func observeStats(st *ComposeStats, start time.Time) {
+	if st != nil {
+		st.Duration = time.Since(start)
+	}
+}

@@ -49,6 +49,10 @@ type Input struct {
 	// true load by one window, so composing against 100% of measured
 	// availability overcommits links; all composers share this margin.
 	Headroom float64
+	// Stats, when non-nil, receives solve statistics (candidate counts,
+	// flow-graph sizes, solver iterations, duration, feasibility) for
+	// the decision tracing plane.
+	Stats *ComposeStats
 }
 
 // DefaultHeadroom is the fraction of measured availability composers plan

@@ -18,6 +18,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/simnet"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -109,6 +110,10 @@ type System struct {
 	Chaos []*transport.Chaos
 	// Placement records which services each node announced.
 	Placement [][]string
+	// Journal collects every engine's adaptation decision traces in one
+	// deployment-wide ring (simulated nodes share the process, so one
+	// journal sees the whole causal story).
+	Journal *trace.Journal
 }
 
 // NewSystem builds and starts a deployment. After it returns, the overlay
@@ -228,6 +233,12 @@ func NewSystem(opts SystemOptions) *System {
 		for _, g := range s.Gossip {
 			g.Start()
 		}
+	}
+	// Every engine writes its decision traces into one shared journal,
+	// sized for a deployment's worth of adaptations.
+	s.Journal = trace.NewJournal(4 * trace.DefaultJournalCapacity)
+	for _, eng := range s.Engines {
+		eng.SetDecisionJournal(s.Journal)
 	}
 	// Enable adaptation only after the deployment has quiesced: the check
 	// loop reschedules forever.

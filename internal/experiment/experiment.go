@@ -20,7 +20,9 @@ import (
 	"rasc.dev/rasc/internal/netsim"
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/telemetry"
+	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/workload"
 )
 
@@ -65,6 +67,10 @@ type Config struct {
 	// BackgroundFlows adds cross-traffic flows invisible to monitoring
 	// (see deploy.SystemOptions).
 	BackgroundFlows int
+	// Adaptation, when set, enables the event-driven adaptation control
+	// plane on every node of every run. Each run's decision traces land
+	// in its RunStats.Decisions.
+	Adaptation *stream.AdaptationConfig
 
 	// Parallelism bounds how many (composer, rate, seed) cells run
 	// concurrently: each cell is an independent simulated deployment, so
@@ -168,6 +174,29 @@ type RunStats struct {
 	// DelayP95Ms is the 95th-percentile end-to-end delay across every
 	// delivered unit of the run.
 	DelayP95Ms float64
+
+	// Decisions is the run's adaptation decision log (empty unless
+	// Config.Adaptation armed the control plane): every completed
+	// reallocation's causal chain from trigger to convergence.
+	Decisions []trace.Decision
+}
+
+// MeanConvergenceMs is the average trigger-to-convergence latency over the
+// run's converged adaptation decisions, in milliseconds of virtual time
+// (0 when none converged).
+func (r RunStats) MeanConvergenceMs() float64 {
+	var sum time.Duration
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Converged {
+			sum += d.ConvergedAt - d.TriggeredAt
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n) / float64(time.Millisecond)
 }
 
 // MeanComposeLatencyMs is the average time to compose one admitted
@@ -329,6 +358,7 @@ func RunOne(cfg Config, composerName string, rate int, seed int64) (RunStats, er
 		KeepDelaySamples: true,
 		HeterogeneousCPU: true,
 		BackgroundFlows:  cfg.BackgroundFlows,
+		Adaptation:       cfg.Adaptation,
 		EnableGossip:     enableGossip,
 		// 500ms keeps probes from timing out over the topology's worst
 		// inter-site RTT (~330ms) and falsely suspecting healthy nodes.
@@ -410,6 +440,7 @@ func RunOne(cfg Config, composerName string, rate int, seed int64) (RunStats, er
 		}
 	}
 	rs.DelayP95Ms = delays.Percentile(95)
+	rs.Decisions = sys.Journal.Decisions()
 	return rs, nil
 }
 

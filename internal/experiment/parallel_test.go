@@ -3,6 +3,7 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -67,7 +68,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		t.Fatalf("run counts diverged: %d vs %d", len(serial.Runs), len(parallel.Runs))
 	}
 	for i := range serial.Runs {
-		if serial.Runs[i] != parallel.Runs[i] {
+		if !reflect.DeepEqual(serial.Runs[i], parallel.Runs[i]) {
 			t.Fatalf("run %d diverged under parallelism:\nserial:   %+v\nparallel: %+v",
 				i, serial.Runs[i], parallel.Runs[i])
 		}

@@ -9,8 +9,11 @@ import (
 	"sort"
 	"time"
 
+	"rasc.dev/rasc/internal/control"
 	"rasc.dev/rasc/internal/gossip"
+	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/telemetry"
+	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -36,6 +39,13 @@ func (n *Node) ServeAdmin(addr string) (*AdminServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.Handle("/debug/rasc/decisions", DecisionsHandler(n.Journal))
+	mux.Handle("/debug/rasc/composition", CompositionHandler(func() []stream.AppComposition {
+		var snap []stream.AppComposition
+		n.DoSync(func() { snap = n.Engine.CompositionSnapshot() })
+		return snap
+	}))
+	mux.Handle("/debug/rasc/trace", TraceHandler(func() *trace.Buffer { return n.Trace }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -74,6 +84,91 @@ type healthStatus struct {
 	// Transport summarizes the resilient pipeline's circuit breakers;
 	// absent when resilience is disabled.
 	Transport *transportHealth `json:"transport,omitempty"`
+	// Control summarizes the adaptation control plane: per-application
+	// last decision and gate posture. Absent until the engine has built a
+	// controller (i.e. before adaptation is enabled or any event fires).
+	Control *controlHealth `json:"control,omitempty"`
+}
+
+// controlHealth is the /healthz control-plane block.
+type controlHealth struct {
+	// Decisions counts adaptation decisions ever completed on this node.
+	Decisions int64 `json:"decisions"`
+	// Inflight is how many reallocations are currently running.
+	Inflight int          `json:"inflight"`
+	Apps     []appControl `json:"apps,omitempty"`
+}
+
+// appControl is one application's control-plane posture.
+type appControl struct {
+	App string `json:"app"`
+	// LastTrigger/LastMode/LastOutcome describe the most recent completed
+	// decision retained for the application; Converged reports whether
+	// its delivered rate has recovered since.
+	LastTrigger string `json:"lastTrigger,omitempty"`
+	LastMode    string `json:"lastMode,omitempty"`
+	LastOutcome string `json:"lastOutcome,omitempty"`
+	Converged   bool   `json:"converged,omitempty"`
+	// Inflight/Pending/Backoff/CooldownRemaining mirror the controller's
+	// gate state: a reallocation running now, merged work waiting on a
+	// timer or slot, the armed retry backoff, and the remaining
+	// post-success cooldown.
+	Inflight          bool          `json:"inflight,omitempty"`
+	Pending           bool          `json:"pending,omitempty"`
+	Backoff           time.Duration `json:"backoff,omitempty"`
+	CooldownRemaining time.Duration `json:"cooldownRemaining,omitempty"`
+}
+
+// buildControlHealth merges the controller's live gate state with the
+// journal's last decision per application. It must run on the actor loop
+// (AppStatuses reads controller state).
+func buildControlHealth(ctl *control.Controller, j *trace.Journal) *controlHealth {
+	ch := &controlHealth{}
+	byApp := make(map[string]*appControl)
+	ordered := []string{}
+	get := func(app string) *appControl {
+		ac, ok := byApp[app]
+		if !ok {
+			ac = &appControl{App: app}
+			byApp[app] = ac
+			ordered = append(ordered, app)
+		}
+		return ac
+	}
+	if ctl != nil {
+		for _, st := range ctl.AppStatuses() {
+			ac := get(st.App)
+			ac.Inflight = st.Inflight
+			ac.Pending = st.Pending
+			ac.Backoff = st.Backoff
+			ac.CooldownRemaining = st.CooldownRemaining
+			if st.Inflight {
+				ch.Inflight++
+			}
+		}
+	}
+	if j != nil {
+		ch.Decisions = j.Total()
+		last := j.LastByApp()
+		apps := make([]string, 0, len(last))
+		for app := range last {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			d := last[app]
+			ac := get(app)
+			ac.LastTrigger = d.Trigger
+			ac.LastMode = d.Mode
+			ac.LastOutcome = d.Outcome
+			ac.Converged = d.Converged
+		}
+	}
+	sort.Strings(ordered)
+	for _, app := range ordered {
+		ch.Apps = append(ch.Apps, *byApp[app])
+	}
+	return ch
 }
 
 // transportHealth is the /healthz breaker summary: how many peers the
@@ -93,6 +188,9 @@ func (a *AdminServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if a.node.Gossip != nil {
 			s := a.node.Gossip.Summary()
 			st.Gossip = &s
+		}
+		if ctl := a.node.Engine.Controller(); ctl != nil || a.node.Journal != nil {
+			st.Control = buildControlHealth(ctl, a.node.Journal)
 		}
 	})
 	if a.node.Transport != nil {

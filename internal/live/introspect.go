@@ -1,0 +1,113 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// The /debug/rasc/* handlers are standalone http.Handlers so deployments
+// other than a live node — simulations under httptest, embedders of the
+// rasc facade — can serve the same introspection surface over their own
+// journals and buffers.
+
+// decisionsResponse is the JSON body of /debug/rasc/decisions.
+type decisionsResponse struct {
+	// Total counts decisions ever completed; Evicted how many the ring
+	// has since overwritten. Decisions is the retained window,
+	// oldest-first.
+	Total     int64            `json:"total"`
+	Evicted   int64            `json:"evicted"`
+	Decisions []trace.Decision `json:"decisions"`
+}
+
+// DecisionsHandler serves a decision journal: indented JSON by default,
+// readable text with ?format=text, optionally filtered to one application
+// with ?app=.
+func DecisionsHandler(j *trace.Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "decision journal disabled", http.StatusServiceUnavailable)
+			return
+		}
+		ds := j.Decisions()
+		if app := r.URL.Query().Get("app"); app != "" {
+			kept := ds[:0]
+			for _, d := range ds {
+				if d.App == app {
+					kept = append(kept, d)
+				}
+			}
+			ds = kept
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(trace.FormatDecisions(ds)))
+			return
+		}
+		writeJSON(w, decisionsResponse{Total: j.Total(), Evicted: j.Evicted(), Decisions: ds})
+	})
+}
+
+// CompositionHandler serves the live execution graphs of every origin
+// application as indented JSON. snapshot runs per request; wire it through
+// the node's actor loop.
+func CompositionHandler(snapshot func() []stream.AppComposition) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, snapshot())
+	})
+}
+
+// TraceHandler serves the per-unit event buffer: ?req= and ?substream=
+// select a stream; with ?seq= it renders that unit's timeline as text,
+// without it the per-hop mean latencies as JSON. buffer runs per request
+// and may return nil when tracing is off.
+func TraceHandler(buffer func() *trace.Buffer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := buffer()
+		if b == nil {
+			http.Error(w, "unit tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		req := q.Get("req")
+		if req == "" {
+			http.Error(w, "missing req parameter", http.StatusBadRequest)
+			return
+		}
+		substream, _ := strconv.Atoi(q.Get("substream"))
+		if seqStr := q.Get("seq"); seqStr != "" {
+			seq, err := strconv.ParseInt(seqStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad seq parameter", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(trace.FormatTimeline(b.Timeline(req, substream, seq))))
+			return
+		}
+		type hop struct {
+			Stage int    `json:"stage"`
+			Count int    `json:"count"`
+			Mean  string `json:"mean"`
+		}
+		lats := b.StageLatencies(req, substream)
+		hops := make([]hop, 0, len(lats))
+		for _, l := range lats {
+			hops = append(hops, hop{Stage: l.Stage, Count: l.Count, Mean: l.Mean.String()})
+		}
+		writeJSON(w, hops)
+	})
+}
+
+// writeJSON writes v as indented JSON (these are debugging endpoints read
+// by humans and golden tests; compactness does not matter).
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -22,6 +22,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -84,6 +85,14 @@ type Config struct {
 	// checks plus incremental reallocation on member-dead, breaker-open
 	// and drop-spike events.
 	Adaptation *stream.AdaptationConfig
+	// TraceEvents, when positive, attaches a per-unit event buffer of
+	// that capacity to the engine, served by /debug/rasc/trace.
+	TraceEvents int
+	// DecisionJournal is the decision journal's retention (default
+	// trace.DefaultJournalCapacity). The journal is always on — it only
+	// records when the adaptation plane makes decisions — and is served
+	// by /debug/rasc/decisions.
+	DecisionJournal int
 }
 
 // Node is a running live RASC node.
@@ -100,6 +109,12 @@ type Node struct {
 	// Transport is the resilient send pipeline (nil when disabled); its
 	// breaker states feed /healthz and gossip suspicion.
 	Transport *transport.Resilient
+	// Journal records the node's adaptation decision traces, served by
+	// /debug/rasc/decisions.
+	Journal *trace.Journal
+	// Trace is the per-unit event buffer (nil unless Config.TraceEvents
+	// enabled it), served by /debug/rasc/trace.
+	Trace *trace.Buffer
 
 	// clk is the node's base clock (wall time unless injected), used for
 	// the off-loop waits (join, submit).
@@ -241,6 +256,16 @@ func Start(cfg Config) (*Node, error) {
 			InBps:  cfg.InBps,
 			OutBps: cfg.OutBps,
 		})
+		capJ := cfg.DecisionJournal
+		if capJ <= 0 {
+			capJ = trace.DefaultJournalCapacity
+		}
+		n.Journal = trace.NewJournal(capJ)
+		n.Engine.SetDecisionJournal(n.Journal)
+		if cfg.TraceEvents > 0 {
+			n.Trace = trace.NewBuffer(cfg.TraceEvents)
+			n.Engine.SetTracer(n.Trace)
+		}
 		if !cfg.DisableGossip {
 			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), cfg.Gossip)
 			eng, dir, ov := n.Engine, n.Dir, n.Overlay

@@ -136,7 +136,9 @@ func (s *Solver) MinCostFlowScaling(g *Graph, src, dst int, want int64) (Result,
 	}
 	redCost := func(u int, a *carc) int64 { return a.cost + pot[u] - pot[a.to] }
 
+	phases := 0
 	for ; eps >= 1; eps /= 2 {
+		phases++
 		// Saturate every negative-reduced-cost arc.
 		for u := range adj {
 			for i := range adj[u] {
@@ -214,6 +216,7 @@ func (s *Solver) MinCostFlowScaling(g *Graph, src, dst int, want int64) (Result,
 	// Write the optimized flows back and total the cost.
 	var res Result
 	res.Flow = maxed
+	res.Iterations = phases
 	for _, m := range s.maps {
 		f := adj[m.cu][m.ci].flow
 		a := &g.adj[m.u][m.i]

@@ -40,6 +40,16 @@ func NewGraph(n int) *Graph {
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
+// NumArcs returns the number of arcs added with AddArc (forward arcs;
+// their residual twins are not counted).
+func (g *Graph) NumArcs() int {
+	n := 0
+	for u := range g.adj {
+		n += len(g.adj[u])
+	}
+	return n / 2
+}
+
 // AddNode appends a new node and returns its index. On a graph recycled
 // with Reset the node reuses the arc storage of its previous life.
 func (g *Graph) AddNode() int {
@@ -116,6 +126,9 @@ type Result struct {
 	Flow int64
 	// Cost is the total cost of the routed flow.
 	Cost int64
+	// Iterations counts the solver's basic work units: augmenting paths
+	// for successive shortest paths, scaling phases for cost scaling.
+	Iterations int
 }
 
 const inf = int64(math.MaxInt64) / 4

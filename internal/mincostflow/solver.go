@@ -106,6 +106,7 @@ func (s *Solver) MinCostFlow(g *Graph, src, dst int, want int64) (Result, error)
 			res.Cost += push * a.cost
 		}
 		res.Flow += push
+		res.Iterations++
 	}
 	return res, nil
 }

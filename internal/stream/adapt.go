@@ -22,6 +22,13 @@ import (
 type AdaptationConfig struct {
 	// Interval between delivery-rate checks (default 5s).
 	Interval time.Duration
+	// AvailabilityInterval is the sampling period of the per-application
+	// availability meter feeding rasc_app_time_below_requested_seconds_total
+	// and decision convergence marking (default min(Interval, 1s)). The
+	// meter samples faster than the adaptation check so the journal's
+	// convergence timestamps resolve recovery within a reallocation
+	// cooldown, not just at check granularity.
+	AvailabilityInterval time.Duration
 	// MinRateFraction of the required rate below which a substream
 	// publishes RateBelowThreshold (default 0.5).
 	MinRateFraction float64
@@ -52,6 +59,12 @@ func (c *AdaptationConfig) defaults() {
 	if c.MinRateFraction <= 0 {
 		c.MinRateFraction = 0.5
 	}
+	if c.AvailabilityInterval <= 0 {
+		c.AvailabilityInterval = c.Interval
+		if c.AvailabilityInterval > time.Second {
+			c.AvailabilityInterval = time.Second
+		}
+	}
 	if c.Composer == nil {
 		c.Composer = &core.MinCost{}
 	}
@@ -81,6 +94,11 @@ type originState struct {
 	desired      spec.Request
 	lastReceived map[int]int64
 	lastCheck    time.Duration
+	// availReceived and availAt are the availability meter's own sink
+	// cursors — separate from the adaptation check's so the two sampling
+	// loops do not disturb each other's rate windows.
+	availReceived map[int]int64
+	availAt       time.Duration
 }
 
 // admittedBelowDesired reports whether the live graph carries less than
@@ -108,6 +126,9 @@ func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
 	e.adaptCfg = &cfg
 	cc := cfg.Control
 	cc.Clock = e.clk
+	if cc.Observer == nil {
+		cc.Observer = e.ensureTracker()
+	}
 	e.controller = control.New(cc, e)
 	var tick func()
 	tick = func() {
@@ -115,6 +136,12 @@ func (e *Engine) EnableAdaptation(cfg AdaptationConfig) {
 		e.adaptCancel = e.clk.After(cfg.Interval, tick)
 	}
 	e.adaptCancel = e.clk.After(cfg.Interval, tick)
+	var sample func()
+	sample = func() {
+		e.sampleAvailability(cfg)
+		e.availCancel = e.clk.After(cfg.AvailabilityInterval, sample)
+	}
+	e.availCancel = e.clk.After(cfg.AvailabilityInterval, sample)
 }
 
 // DisableAdaptation stops the check loop and closes the controller. The
@@ -125,6 +152,10 @@ func (e *Engine) DisableAdaptation() {
 	if e.adaptCancel != nil {
 		e.adaptCancel()
 		e.adaptCancel = nil
+	}
+	if e.availCancel != nil {
+		e.availCancel()
+		e.availCancel = nil
 	}
 	if e.controller != nil {
 		e.controller.Close()
@@ -151,6 +182,9 @@ func (e *Engine) ensureController() *control.Controller {
 		cfg := e.adaptConfig()
 		cc := cfg.Control
 		cc.Clock = e.clk
+		if cc.Observer == nil {
+			cc.Observer = e.ensureTracker()
+		}
 		e.controller = control.New(cc, e)
 	}
 	return e.controller
@@ -245,6 +279,73 @@ func (e *Engine) checkAdaptation(cfg AdaptationConfig) {
 	}
 }
 
+// sampleAvailability measures every origin application's delivered rate
+// over the availability window. Time spent below MinRateFraction of the
+// live request accrues into rasc_app_time_below_requested_seconds_total —
+// the paper's availability objective as a directly scrapeable counter — and
+// a window back at or above threshold marks the application's completed
+// decisions converged in the journal.
+func (e *Engine) sampleAvailability(cfg AdaptationConfig) {
+	now := e.clk.Now()
+	ids := make([]string, 0, len(e.origins))
+	for id := range e.origins {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, app := range ids {
+		st := e.origins[app]
+		elapsed := now - st.availAt
+		if elapsed <= 0 {
+			continue
+		}
+		if st.availReceived == nil {
+			st.availReceived = make(map[int]int64)
+		}
+		var got int64
+		var want int64
+		for l, ss := range st.graph.Request.Substreams {
+			want += int64(ss.Rate)
+			sink := e.sinks[sinkKey(app, l)]
+			if sink == nil {
+				continue
+			}
+			d := sink.Received - st.availReceived[l]
+			if d < 0 {
+				// The sink was replaced by a full recompose and its
+				// counter restarted.
+				d = sink.Received
+			}
+			st.availReceived[l] = sink.Received
+			got += d
+		}
+		st.availAt = now
+		rate := float64(got) / elapsed.Seconds()
+		if rate < cfg.MinRateFraction*float64(want) {
+			telAppTimeBelow.With(app).AddDuration(elapsed)
+		} else if e.journal != nil {
+			e.journal.Converge(app, now)
+		}
+	}
+	// Applications torn down by a full recompose have no origin state, so
+	// the loop above cannot see them: charge their downtime here and move
+	// the cursor so re-activation only pays the remainder.
+	down := make([]string, 0, len(e.availDown))
+	for app := range e.availDown {
+		down = append(down, app)
+	}
+	sort.Strings(down)
+	for _, app := range down {
+		if _, ok := e.origins[app]; ok {
+			delete(e.availDown, app)
+			continue
+		}
+		if elapsed := now - e.availDown[app]; elapsed > 0 {
+			telAppTimeBelow.With(app).AddDuration(elapsed)
+			e.availDown[app] = now
+		}
+	}
+}
+
 // Recompose implements control.Actions: tear the application down and
 // submit it again with fresh discovery and monitoring state. The request
 // keeps its ID; its sinks are replaced, so delivery statistics restart
@@ -269,7 +370,21 @@ func (e *Engine) Recompose(app string, upgrade bool, done func(error)) {
 	desired := st.desired
 	e.Teardown(st.graph, cfg.Timeout)
 	delete(e.origins, app)
+	// The application delivers nothing between teardown and the new
+	// graph's activation; charge that whole window to the availability
+	// meter even when it is shorter than one sampling period.
+	e.availDown[app] = e.clk.Now()
+	// Route the re-composition's solver stats to the open decision trace:
+	// compose() picks the capture up by request ID.
+	e.composeCapture[app] = &core.ComposeStats{}
 	e.Submit(req, composer, cfg.Timeout, func(g *core.ExecutionGraph, err error) {
+		delete(e.composeCapture, app)
+		if at, ok := e.availDown[app]; ok {
+			delete(e.availDown, app)
+			if d := e.clk.Now() - at; d > 0 {
+				telAppTimeBelow.With(app).AddDuration(d)
+			}
+		}
 		if err != nil {
 			// Nothing composable right now — e.g. a lookup routed
 			// through a just-failed node. Re-register the old state so
@@ -281,6 +396,11 @@ func (e *Engine) Recompose(app string, upgrade bool, done func(error)) {
 				desired:      desired,
 				lastReceived: make(map[int]int64),
 				lastCheck:    e.clk.Now(),
+				// The old sinks survive teardown, so the availability
+				// meter keeps its cursors instead of re-counting their
+				// lifetime totals as one window's delivery.
+				availReceived: st.availReceived,
+				availAt:       e.clk.Now(),
 			}
 		}
 		done(err)

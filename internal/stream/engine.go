@@ -7,6 +7,7 @@ import (
 
 	"rasc.dev/rasc/internal/clock"
 	"rasc.dev/rasc/internal/control"
+	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/discovery"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
@@ -96,10 +97,24 @@ type Engine struct {
 	// adaptation plane.
 	origins        map[string]*originState
 	adaptCancel    func()
+	availCancel    func()
 	adaptCfg       *AdaptationConfig
 	controller     *control.Controller
 	recompositions int64
 	reallocations  int64
+
+	// journal and tracker record the adaptation decision plane: the
+	// tracker observes the controller and writes causal traces into the
+	// journal. composeCapture routes full-recompose solver stats from the
+	// Submit pipeline back to the decision trace, keyed by request ID.
+	journal        *trace.Journal
+	tracker        *decisionTracker
+	composeCapture map[string]*core.ComposeStats
+	// availDown marks origin applications torn down by a full recompose
+	// and not yet re-activated: the availability meter charges the whole
+	// teardown-to-recompose window as below-threshold time (the app
+	// delivers nothing while down), keyed to the last accrual instant.
+	availDown map[string]time.Duration
 
 	// statsProvider, when set, answers composition-time stats queries from
 	// a locally converged view (the gossip digest store) instead of
@@ -129,18 +144,20 @@ type Engine struct {
 func NewEngine(node *overlay.Node, clk clock.Clock, dir *discovery.Directory, catalog map[string]spec.ServiceDef, rng *rand.Rand, cfg Config) *Engine {
 	cfg.defaults()
 	e := &Engine{
-		node:    node,
-		clk:     clk,
-		rng:     rng,
-		cfg:     cfg,
-		Monitor: monitor.NewNodeMonitor(cfg.InBps, cfg.OutBps, cfg.Window),
-		Dir:     dir,
-		queue:   sched.NewPolicy(cfg.SchedPolicy, cfg.QueueCapacity),
-		comps:   make(map[string]*component),
-		sinks:   make(map[string]*Sink),
-		sources: make(map[string]*source),
-		origins: make(map[string]*originState),
-		Catalog: catalog,
+		node:           node,
+		clk:            clk,
+		rng:            rng,
+		cfg:            cfg,
+		Monitor:        monitor.NewNodeMonitor(cfg.InBps, cfg.OutBps, cfg.Window),
+		Dir:            dir,
+		queue:          sched.NewPolicy(cfg.SchedPolicy, cfg.QueueCapacity),
+		comps:          make(map[string]*component),
+		sinks:          make(map[string]*Sink),
+		sources:        make(map[string]*source),
+		origins:        make(map[string]*originState),
+		composeCapture: make(map[string]*core.ComposeStats),
+		availDown:      make(map[string]time.Duration),
+		Catalog:        catalog,
 	}
 	e.Monitor.SetQueueLenFunc(e.queue.Len)
 	e.Monitor.SetCPU(cfg.SpeedFactor)
@@ -174,6 +191,36 @@ func (e *Engine) ExportTelemetry() { e.Monitor.Report(e.clk.Now()) }
 // SetTracer attaches an event buffer recording this engine's per-unit
 // events (emit/arrive/process/forward/drop/deliver). Pass nil to detach.
 func (e *Engine) SetTracer(b *trace.Buffer) { e.tracer = b }
+
+// SetDecisionJournal installs the journal that receives this engine's
+// adaptation decision traces. Deployments call it before enabling
+// adaptation so every engine writes into one shared journal; without it a
+// private journal of trace.DefaultJournalCapacity is created on first use.
+// Decisions already in flight keep writing to the journal they started on.
+func (e *Engine) SetDecisionJournal(j *trace.Journal) {
+	e.journal = j
+	if e.tracker != nil {
+		e.tracker.journal = j
+	}
+}
+
+// DecisionJournal returns the engine's decision journal, creating the
+// default private one if none was set.
+func (e *Engine) DecisionJournal() *trace.Journal {
+	if e.journal == nil {
+		e.journal = trace.NewJournal(trace.DefaultJournalCapacity)
+	}
+	return e.journal
+}
+
+// ensureTracker returns the engine's decision tracker, building it (and a
+// default journal) on first use.
+func (e *Engine) ensureTracker() *decisionTracker {
+	if e.tracker == nil {
+		e.tracker = newDecisionTracker(e.DecisionJournal(), e.clk)
+	}
+	return e.tracker
+}
 
 // traceEvent appends an event when tracing is on.
 func (e *Engine) traceEvent(kind trace.Kind, m dataMsg, stage int, note string) {

@@ -99,12 +99,19 @@ func (e *Engine) Reallocate(app string, degraded map[overlay.ID]bool, substreams
 				return
 			}
 			in := e.buildInput(req, hosts, reports)
+			in.Stats = &core.ComposeStats{}
+			solveStart := e.clk.Now()
 			g, err := dc.ComposeDelta(in, st.graph, degraded, affected)
+			e.observeSolve(app, in.Stats, solveStart, err)
 			if err != nil {
 				done(err)
 				return
 			}
-			e.applyDelta(app, st, g, affectedSet, cfg.Timeout, done)
+			applyStart := e.clk.Now()
+			e.applyDelta(app, st, g, affectedSet, cfg.Timeout, func(err error) {
+				e.observeApply(app, applyStart, err)
+				done(err)
+			})
 		})
 	})
 }

@@ -160,7 +160,16 @@ func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.
 	hosts map[string][]overlay.NodeInfo, reports map[overlay.ID]monitor.Report,
 	cb func(*core.ExecutionGraph, error)) {
 
-	g, err := composer.Compose(e.buildInput(req, hosts, reports))
+	in := e.buildInput(req, hosts, reports)
+	st := e.composeCapture[req.ID]
+	if st != nil {
+		in.Stats = st
+	}
+	start := e.clk.Now()
+	g, err := composer.Compose(in)
+	if st != nil {
+		e.observeSolve(req.ID, st, start, err)
+	}
 	if err != nil {
 		cb(nil, err)
 		return
@@ -255,10 +264,12 @@ func (e *Engine) activate(g *core.ExecutionGraph, sourceOuts map[int][]outSpec, 
 		e.startSource(g.Request.ID, l, ss, g.Request.UnitBytes, sourceOuts[l])
 	}
 	e.origins[g.Request.ID] = &originState{
-		graph:        g,
-		desired:      desired,
-		lastReceived: make(map[int]int64),
-		lastCheck:    e.clk.Now(),
+		graph:         g,
+		desired:       desired,
+		lastReceived:  make(map[int]int64),
+		lastCheck:     e.clk.Now(),
+		availReceived: make(map[int]int64),
+		availAt:       e.clk.Now(),
 	}
 }
 

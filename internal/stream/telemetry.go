@@ -27,6 +27,15 @@ var (
 		"End-to-end delay of units delivered to local sinks.",
 		telemetry.DefBuckets)
 
+	// telAppTimeBelow is the paper's availability objective as a counter:
+	// cumulative time each origin application's delivered rate sat below
+	// MinRateFraction of its live requirement, accrued by the adaptation
+	// plane's availability sampler.
+	telAppTimeBelow = telemetry.Default().FloatCounterVec(
+		"rasc_app_time_below_requested_seconds_total",
+		"Seconds an application's delivered rate was below the adaptation threshold.",
+		"app")
+
 	// Pre-resolved per-cause drop counters: the hot paths touch these, so
 	// the label lookup happens once here. Registering them eagerly also
 	// makes every cause visible at 0 on /metrics.

@@ -67,6 +67,12 @@ func (f *family) write(b *strings.Builder) {
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatUint(c.counter.Value(), 10))
 			b.WriteByte('\n')
+		case kindFloatCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labelNames, c.labelValues, "")
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(c.floatCounter.Value()))
+			b.WriteByte('\n')
 		case kindGauge:
 			v := 0.0
 			if c.gaugeFn != nil {

@@ -36,6 +36,34 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// FloatCounter is a monotonically increasing float64 metric, for
+// accumulating fractional quantities an integer Counter cannot hold —
+// seconds of accrued time, transferred megabytes. The zero value reads 0.
+// All methods are safe for concurrent use.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v; negative increments are ignored (a
+// counter is monotonic by contract).
+func (c *FloatCounter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// AddDuration increments the counter by d in seconds.
+func (c *FloatCounter) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // Gauge is a float64 metric that can go up and down. The zero value reads
 // 0. All methods are safe for concurrent use and lock-free.
 type Gauge struct {
@@ -168,11 +196,15 @@ const (
 	kindCounter kind = iota
 	kindGauge
 	kindHistogram
+	// kindFloatCounter is a counter with a float64 value; it renders as
+	// "counter" but is a distinct kind so integer and float registrations
+	// of the same name conflict loudly.
+	kindFloatCounter
 )
 
 func (k kind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindFloatCounter:
 		return "counter"
 	case kindGauge:
 		return "gauge"
@@ -183,11 +215,12 @@ func (k kind) String() string {
 
 // child is one labelled series of a family.
 type child struct {
-	labelValues []string
-	counter     *Counter
-	gauge       *Gauge
-	gaugeFn     func() float64
-	histogram   *Histogram
+	labelValues  []string
+	counter      *Counter
+	floatCounter *FloatCounter
+	gauge        *Gauge
+	gaugeFn      func() float64
+	histogram    *Histogram
 }
 
 // family is one named metric with a fixed label schema.
@@ -220,6 +253,8 @@ func (f *family) child(labelValues []string) *child {
 	switch f.kind {
 	case kindCounter:
 		c.counter = &Counter{}
+	case kindFloatCounter:
+		c.floatCounter = &FloatCounter{}
 	case kindGauge:
 		c.gauge = &Gauge{}
 	case kindHistogram:
@@ -247,6 +282,15 @@ type CounterVec struct{ f *family }
 // With returns (creating on first use) the counter for the label values.
 // It takes a lock: call once and cache the handle, not per operation.
 func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.child(labelValues).counter }
+
+// FloatCounterVec is a float counter family with labels.
+type FloatCounterVec struct{ f *family }
+
+// With returns (creating on first use) the float counter for the label
+// values. It takes a lock: call once and cache the handle off hot paths.
+func (v *FloatCounterVec) With(labelValues ...string) *FloatCounter {
+	return v.f.child(labelValues).floatCounter
+}
 
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
@@ -346,6 +390,16 @@ func (r *Registry) Counter(name, help string) *Counter {
 // CounterVec registers (or fetches) a labelled counter family.
 func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
 	return &CounterVec{r.family(name, help, kindCounter, labelNames, nil)}
+}
+
+// FloatCounter registers (or fetches) an unlabelled float counter.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	return r.family(name, help, kindFloatCounter, nil, nil).child(nil).floatCounter
+}
+
+// FloatCounterVec registers (or fetches) a labelled float counter family.
+func (r *Registry) FloatCounterVec(name, help string, labelNames ...string) *FloatCounterVec {
+	return &FloatCounterVec{r.family(name, help, kindFloatCounter, labelNames, nil)}
 }
 
 // Gauge registers (or fetches) an unlabelled gauge.

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strconv"
+	"time"
+)
+
+// TraceID identifies one decision trace: everything that happened between
+// an adaptation trigger and its outcome. IDs are allocated by a Journal
+// and are unique within it.
+type TraceID uint64
+
+// SpanID identifies one span within a trace. The root span of every trace
+// has ID 1; 0 marks "no parent".
+type SpanID uint64
+
+// Attr is one structured key/value attribute on a span. Attributes are an
+// ordered slice, not a map, so traces marshal deterministically.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// A builds a string attribute.
+func A(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// AInt builds an integer attribute.
+func AInt(key string, v int64) Attr { return Attr{Key: key, Val: strconv.FormatInt(v, 10)} }
+
+// ADur builds a duration attribute rendered in Go duration syntax.
+func ADur(key string, d time.Duration) Attr { return Attr{Key: key, Val: d.String()} }
+
+// ABool builds a boolean attribute.
+func ABool(key string, v bool) Attr { return Attr{Key: key, Val: strconv.FormatBool(v)} }
+
+// Span is one timed step of a decision trace: the trigger, a controller
+// gate, the solver run, the reallocation apply. Start and End are offsets
+// on the deployment's clock (virtual time in simulations); a zero-length
+// span marks an instantaneous observation.
+type Span struct {
+	Trace  TraceID       `json:"trace"`
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start"`
+	End    time.Duration `json:"end"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}

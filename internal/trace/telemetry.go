@@ -1,0 +1,32 @@
+package trace
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the tracing plane (metric catalogues rasc_trace_*
+// and rasc_decision*). Decision latencies are observed on the
+// deployment's clock — virtual time in simulations — so histograms
+// compare directly across simulated and live runs.
+var (
+	telEvicted = telemetry.Default().Counter(
+		"rasc_trace_evicted_total",
+		"Per-unit trace events overwritten by the bounded ring buffer; non-zero means reconstructed timelines may be truncated.")
+	telJournalEvicted = telemetry.Default().Counter(
+		"rasc_decision_journal_evicted_total",
+		"Completed decisions overwritten by the bounded decision journal.")
+	telDecisions = telemetry.Default().CounterVec(
+		"rasc_decisions_total",
+		"Completed adaptation decisions by trigger event kind and outcome.",
+		"trigger", "outcome")
+	telDecisionLatency = telemetry.Default().HistogramVec(
+		"rasc_decision_latency_seconds",
+		"Trigger-to-completion latency of adaptation decisions by trigger event kind.",
+		decisionBuckets, "trigger")
+	telDecisionConvergence = telemetry.Default().HistogramVec(
+		"rasc_decision_convergence_seconds",
+		"Trigger-to-convergence latency (delivered rate back at or above threshold) of successful adaptation decisions by trigger event kind.",
+		decisionBuckets, "trigger")
+)
+
+// decisionBuckets span 10ms to ~80s: detection-dominated decisions land in
+// the seconds, pure solve-and-apply chains in the tens of milliseconds.
+var decisionBuckets = telemetry.ExpBuckets(0.01, 2, 14)

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceMetricsCatalogue pins the rasc_trace_* and rasc_decision*
+// family catalogue (# HELP / # TYPE lines) exposed on /metrics. Values
+// are process-global and order-dependent across tests, so the golden
+// captures the catalogue, not samples.
+func TestTraceMetricsCatalogue(t *testing.T) {
+	// Drive every family at least once: a unit-buffer eviction, a journal
+	// eviction, a completed decision (counter + latency histogram), and a
+	// convergence observation.
+	b := NewBuffer(1)
+	b.Append(Event{Kind: KindEmit})
+	b.Append(Event{Kind: KindDeliver})
+
+	j := NewJournal(1)
+	for i := 0; i < 2; i++ {
+		a := j.Begin(time.Duration(i)*time.Second, "app", "member_dead", "")
+		a.Complete(time.Duration(i)*time.Second+time.Millisecond, "incremental", nil)
+	}
+	j.Converge("app", 3*time.Second)
+
+	exp := telemetry.Default().String()
+	var got strings.Builder
+	for _, line := range strings.Split(exp, "\n") {
+		if strings.HasPrefix(line, "# HELP rasc_trace_") || strings.HasPrefix(line, "# TYPE rasc_trace_") ||
+			strings.HasPrefix(line, "# HELP rasc_decision") || strings.HasPrefix(line, "# TYPE rasc_decision") {
+			got.WriteString(line)
+			got.WriteString("\n")
+		}
+	}
+	path := filepath.Join("testdata", "trace_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("trace catalogue mismatch\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+
+	for _, name := range []string{
+		"rasc_trace_evicted_total",
+		"rasc_decision_journal_evicted_total",
+		"rasc_decisions_total",
+		"rasc_decision_latency_seconds",
+		"rasc_decision_convergence_seconds",
+	} {
+		if !strings.Contains(exp, name) {
+			t.Errorf("%s missing from exposition", name)
+		}
+	}
+}

@@ -64,11 +64,12 @@ type Event struct {
 // simulations append from the single event-loop goroutine, but live nodes
 // and tests may append from many goroutines at once.
 type Buffer struct {
-	mu     sync.Mutex
-	events []Event
-	head   int
-	n      int
-	total  int64
+	mu      sync.Mutex
+	events  []Event
+	head    int
+	n       int
+	total   int64
+	evicted int64
 }
 
 // NewBuffer creates a buffer retaining the most recent capacity events.
@@ -83,6 +84,10 @@ func NewBuffer(capacity int) *Buffer {
 func (b *Buffer) Append(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.n == len(b.events) {
+		b.evicted++
+		telEvicted.Inc()
+	}
 	b.events[b.head] = e
 	b.head = (b.head + 1) % len(b.events)
 	if b.n < len(b.events) {
@@ -103,6 +108,14 @@ func (b *Buffer) Total() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.total
+}
+
+// Evicted returns how many events the ring has overwritten; non-zero
+// means timelines reconstructed from the buffer may be truncated.
+func (b *Buffer) Evicted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.evicted
 }
 
 // Events returns the retained events oldest-first.

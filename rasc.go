@@ -336,6 +336,24 @@ func (s *System) Membership(i int) (MembershipSummary, bool) {
 // deliver) for timeline reconstruction and per-hop latency analysis.
 type TraceBuffer = trace.Buffer
 
+// Decision is one completed adaptation decision: the causal chain from
+// trigger event through controller gates and solver run to the
+// reallocation outcome and convergence.
+type Decision = trace.Decision
+
+// DecisionJournal is the bounded ring retaining the most recent completed
+// decisions.
+type DecisionJournal = trace.Journal
+
+// Decisions returns the deployment's adaptation decision log, oldest
+// first: every engine writes its decision traces into one shared journal.
+func (s *System) Decisions() []Decision { return s.d.Journal.Decisions() }
+
+// Journal exposes the deployment's shared decision journal, e.g. to serve
+// it over HTTP with live.DecisionsHandler or format it with
+// trace.FormatDecisions.
+func (s *System) Journal() *DecisionJournal { return s.d.Journal }
+
 // EnableTracing attaches a shared event buffer of the given capacity to
 // every node's engine and returns it. Use the buffer's Timeline,
 // StageLatencies and DropsByCause to analyze where units spend time and
