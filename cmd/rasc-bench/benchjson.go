@@ -14,6 +14,7 @@ import (
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/tenant"
 )
 
 // benchResult is one machine-readable benchmark line.
@@ -79,6 +80,87 @@ func benchComposeInput(hosts, stages, rate int) core.Input {
 		in.Candidates[svc] = cands
 	}
 	return in
+}
+
+// admissionReport is the BENCH_admission.json schema: the gate's decision
+// latency with a large concurrent tenant population.
+type admissionReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Tenants    int           `json:"tenants"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runAdmissionBenchJSON measures the admission-control decision path at
+// 1k concurrent applications — the per-submission cost the gate adds in
+// front of composition — and writes the report to path.
+func runAdmissionBenchJSON(path string) error {
+	const tenants = 1000
+	report := admissionReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Tenants:    tenants,
+	}
+	pris := []spec.Priority{spec.Critical, spec.Standard, spec.BestEffort}
+	seed := func() *tenant.Gate {
+		g := tenant.NewGate(tenant.Config{CapacityBps: 1e9, QueueCapacity: 64})
+		for i := 0; i < tenants; i++ {
+			g.Admit(fmt.Sprintf("app-%04d", i), pris[i%len(pris)], 1e6, nil)
+		}
+		return g
+	}
+
+	// Every admission re-solves the weighted fairness over the full
+	// population: the worst-case decision latency.
+	g := seed()
+	report.Benchmarks = append(report.Benchmarks, record("Admission/1000tenants",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if dec := g.Admit("probe", spec.Standard, 1e6, nil); dec.State != tenant.StateAdmitted {
+					b.Fatalf("probe not admitted: %+v", dec)
+				}
+				g.Release("probe")
+			}
+		})))
+
+	// A rejection is the cheap verdict: the candidate's share falls below
+	// its floor and no lower-priority tenant is evictable.
+	full := tenant.NewGate(tenant.Config{CapacityBps: 1e9, QueueCapacity: -1})
+	for i := 0; i < tenants; i++ {
+		full.Admit(fmt.Sprintf("app-%04d", i), spec.Critical, 1e6, nil)
+	}
+	report.Benchmarks = append(report.Benchmarks, record("AdmissionReject/1000tenants",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if dec := full.Admit("probe", spec.BestEffort, 1e9, nil); dec.State != tenant.StateRejected {
+					b.Fatalf("probe not rejected: %+v", dec)
+				}
+			}
+		})))
+
+	demands := make([]tenant.Demand, tenants)
+	for i := range demands {
+		demands[i] = tenant.Demand{
+			App:    fmt.Sprintf("app-%04d", i),
+			Bps:    float64(1+i%17) * 1e5,
+			Weight: []float64{1, 2, 4}[i%3],
+		}
+	}
+	report.Benchmarks = append(report.Benchmarks, record("FairShares/1000demands",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tenant.FairShares(demands, 5e8)
+			}
+		})))
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // runBenchJSON measures the composition fast path and writes the report

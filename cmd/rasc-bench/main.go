@@ -40,6 +40,7 @@ func main() {
 		bg        = flag.Int("background", 0, "number of cross-traffic background flows")
 		parallel  = flag.Int("parallel", 0, "sweep worker-pool size (0 = NumCPU, 1 = serial)")
 		jsonPath  = flag.String("json", "", "write compose benchmark results as JSON to this path and exit")
+		admJSON   = flag.String("admission-json", "", "write admission-control benchmark results (decision latency at 1k tenants) as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -49,6 +50,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
+	if *admJSON != "" {
+		if err := runAdmissionBenchJSON(*admJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "admission bench json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *admJSON)
 		return
 	}
 

@@ -26,6 +26,7 @@ import (
 	"rasc.dev/rasc/internal/live"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -58,6 +59,11 @@ func main() {
 		adaptIvl  = flag.Duration("adapt-interval", 0, "enable the adaptation control plane with this delivery-rate check period (0: disabled)")
 		adaptFull = flag.Bool("adapt-full-only", false, "disable incremental reallocation: every adaptation action tears down and re-composes in full")
 
+		admission    = flag.Bool("admission", false, "front submissions with the multi-tenant admission gate (priority classes, fair-share caps, admission queue), served at /debug/rasc/tenants")
+		admissionBps = flag.Float64("admission-bps", 0, "admission gate capacity budget in bits/sec (0: derive from the node's link capacity)")
+		maxTenants   = flag.Int("max-tenants", 0, "bound on concurrently admitted applications (0: unlimited; implies -admission)")
+		priority     = flag.String("priority", "", "tenancy class of the -submit request: critical, standard or best-effort")
+
 		traceEvents = flag.Int("trace-events", 0, "attach a per-unit event buffer of this capacity, served at /debug/rasc/trace (0: disabled)")
 		journalCap  = flag.Int("decision-journal", 0, "adaptation decision journal retention, served at /debug/rasc/decisions (0: default 256)")
 	)
@@ -72,6 +78,15 @@ func main() {
 		cfg := stream.AdaptationConfig{Interval: *adaptIvl}
 		cfg.Control.DisableIncremental = *adaptFull
 		adaptation = &cfg
+	}
+	pri, err := spec.ParsePriority(*priority)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var tenancy *tenant.Config
+	if *admission || *maxTenants > 0 {
+		tenancy = &tenant.Config{CapacityBps: *admissionBps, MaxTenants: *maxTenants}
 	}
 	node, err := live.Start(live.Config{
 		Listen:          *listen,
@@ -100,6 +115,7 @@ func main() {
 			DelayJitter: *chaosJitter,
 		},
 		Adaptation:      adaptation,
+		Tenancy:         tenancy,
 		TraceEvents:     *traceEvents,
 		DecisionJournal: *journalCap,
 	})
@@ -136,6 +152,7 @@ func main() {
 			ID:         fmt.Sprintf("cli-%d", time.Now().Unix()),
 			UnitBytes:  *unit,
 			Substreams: []spec.Substream{{Services: chain, Rate: rateUnits}},
+			Priority:   pri,
 		}
 		// An interrupt while composition is in flight cancels the wait.
 		graph, err := node.SubmitContext(ctx, req, *composer, 10*time.Second)

@@ -81,6 +81,11 @@ func main() {
 		adaptIvl  = flag.Duration("adapt-interval", 0, "enable the adaptation control plane with this delivery-rate check period (0: disabled; pair with -gossip for failure triggers)")
 		adaptFull = flag.Bool("adapt-full-only", false, "disable incremental reallocation: every adaptation action tears down and re-composes in full")
 
+		priority     = flag.String("priority", "", "tenancy class of the submitted request: critical, standard or best-effort")
+		admission    = flag.Bool("admission", false, "front submissions with the multi-tenant admission gate (priority classes, fair-share caps, admission queue)")
+		admissionBps = flag.Float64("admission-bps", 0, "admission gate capacity budget in bits/sec (0: derive from the topology's aggregate access capacity)")
+		maxTenants   = flag.Int("max-tenants", 0, "bound on concurrently admitted applications (0: unlimited; implies -admission)")
+
 		runs     = flag.Int("runs", 1, "repeat the scenario on N independent deployments seeded seed..seed+N-1")
 		parallel = flag.Int("parallel", 0, "worker-pool size for -runs > 1 (0 = NumCPU, 1 = serial)")
 
@@ -97,6 +102,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	pri, err := rasc.ParsePriority(*priority)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tenancyOn := *admission || *maxTenants > 0
 	chaos := rasc.ChaosConfig{
 		Drop:        *chaosDrop,
 		Delay:       *chaosDelay,
@@ -114,6 +125,12 @@ func main() {
 			cfg.Control.DisableIncremental = *adaptFull
 			o = append(o, rasc.WithAdaptation(cfg))
 		}
+		if tenancyOn {
+			o = append(o, rasc.WithTenancy(rasc.TenancyConfig{
+				CapacityBps: *admissionBps,
+				MaxTenants:  *maxTenants,
+			}))
+		}
 		return o
 	}
 	chain := strings.Split(*svcList, ",")
@@ -125,6 +142,7 @@ func main() {
 		ID:         "cli-request",
 		UnitBytes:  *unit,
 		Substreams: []rasc.Substream{{Services: chain, Rate: rateUnits}},
+		Priority:   pri,
 	}
 	if *runs > 1 {
 		if *traceOn || *workFile != "" || *dotOut != "" {
@@ -141,6 +159,7 @@ func main() {
 	}
 	if *workFile != "" {
 		replayWorkload(sys, *workFile, cmp, *duration)
+		dumpTenants(sys)
 		dumpTelemetry(sys, *telOut)
 		dumpDecisions(sys, *decOut)
 		return
@@ -189,6 +208,7 @@ func main() {
 		fmt.Println("\nsample unit timeline (seq 50):")
 		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
 	}
+	dumpTenants(sys)
 	dumpTelemetry(sys, *telOut)
 	dumpDecisions(sys, *decOut)
 }
@@ -238,6 +258,22 @@ func multiRun(n, workers int, base int64, origin int, duration time.Duration, re
 	}
 	fmt.Printf("\naggregate: composed %d/%d, delivered %.1f%%, timely %.1f%%\n",
 		composed, n, 100*agg.DeliveredFraction(), 100*agg.TimelyFraction())
+}
+
+// dumpTenants prints the admission gate's posture (a no-op without
+// -admission / -max-tenants).
+func dumpTenants(sys *rasc.System) {
+	tenants, ok := sys.Tenants()
+	if !ok {
+		return
+	}
+	tt, _ := sys.TenantGateTotals()
+	fmt.Printf("\nadmission gate: %d admitted, %d queued, %.0f of %.0f bps allocated, %d preemptions, %d rejections\n",
+		tt.Admitted, tt.Queued, tt.AllocatedBps, tt.CapacityBps, tt.Preemptions, tt.Rejections)
+	for _, t := range tenants {
+		fmt.Printf("  %-12s %-11s %-8s demand %8.0f bps cap %8.0f bps\n",
+			t.App, t.Priority, t.State, t.DemandBps, t.CapBps)
+	}
 }
 
 // dumpTelemetry writes the final runtime telemetry snapshot alongside the

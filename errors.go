@@ -1,6 +1,10 @@
 package rasc
 
-import "errors"
+import (
+	"errors"
+
+	"rasc.dev/rasc/internal/tenant"
+)
 
 // Sentinel errors returned (wrapped, with request-specific detail) by the
 // facade. Match them with errors.Is:
@@ -24,4 +28,19 @@ var (
 	// ErrUnknownService reports a request naming a service that is not in
 	// the deployment's catalog — composition is not attempted.
 	ErrUnknownService = errors.New("rasc: unknown service")
+)
+
+// Admission sentinels of deployments built WithTenancy, re-exported from
+// internal/tenant so callers branch with errors.Is on the facade alone.
+var (
+	// ErrAdmissionRejected reports that the admission gate turned the
+	// request away: admitting it would push a running tenant of equal or
+	// higher priority below its guaranteed share, and the admission queue
+	// is full. No running application was disturbed.
+	ErrAdmissionRejected = tenant.ErrAdmissionRejected
+
+	// ErrAdmissionQueued reports that the request was parked in the
+	// admission queue; it is submitted automatically when capacity frees
+	// up. Observe it through System.Tenants.
+	ErrAdmissionQueued = tenant.ErrAdmissionQueued
 )

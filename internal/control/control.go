@@ -402,6 +402,13 @@ func (c *Controller) handle(ev Event) {
 		c.request(ev.App, &ev, w, false)
 	case UpgradePossible:
 		c.request(ev.App, &ev, &work{full: true, upgrade: true, allSubs: true}, false)
+	case FairShareChanged:
+		// A fairness recompute moved the tenant's rate cap. The cap is
+		// applied by the submission path, so a full recompose (with the
+		// upgrade composer — the cap may have risen) converges the
+		// application onto it. Edge-triggered: the gate fires once per
+		// recompute, so gated work is latched.
+		c.request(ev.App, &ev, &work{full: true, upgrade: true, allSubs: true}, true)
 	}
 }
 

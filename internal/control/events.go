@@ -23,6 +23,11 @@ const (
 	// UpgradePossible reports that a healthy application admitted below
 	// its desired rate might now be upgradable (capacity may have freed).
 	UpgradePossible
+	// FairShareChanged reports that the tenancy gate recomputed the
+	// application's fair-share rate cap (a tenant joined or left, or
+	// cluster capacity changed); the application must be recomposed to
+	// its new cap.
+	FairShareChanged
 )
 
 // String returns the snake_case label used in rasc_control_* telemetry.
@@ -38,6 +43,8 @@ func (k EventKind) String() string {
 		return "drop_ratio_spike"
 	case UpgradePossible:
 		return "upgrade_possible"
+	case FairShareChanged:
+		return "fair_share_changed"
 	}
 	return "unknown"
 }

@@ -18,6 +18,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/simnet"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
@@ -92,6 +93,13 @@ type SystemOptions struct {
 	// events). Adaptation loops reschedule forever, so such deployments
 	// must advance time with RunUntil.
 	Adaptation *stream.AdaptationConfig
+
+	// Tenancy, when set, fronts every engine's Submit path with one
+	// shared admission gate: priority-weighted max-min fair-share caps,
+	// an admission queue, and preemption under contention. A zero
+	// CapacityBps defaults to 90% of the topology's aggregate access
+	// capacity; Clock and Journal are filled in from the deployment.
+	Tenancy *tenant.Config
 }
 
 // System is a running simulated deployment: a joined overlay with DHT,
@@ -114,6 +122,9 @@ type System struct {
 	// deployment-wide ring (simulated nodes share the process, so one
 	// journal sees the whole causal story).
 	Journal *trace.Journal
+	// Gate is the cluster-wide admission gate (nil when Options.Tenancy
+	// is unset).
+	Gate *tenant.Gate
 }
 
 // NewSystem builds and starts a deployment. After it returns, the overlay
@@ -196,6 +207,44 @@ func NewSystem(opts SystemOptions) *System {
 		}
 	}
 	c.Sim.Run()
+	// Every engine writes its decision traces into one shared journal,
+	// sized for a deployment's worth of adaptations. Built before gossip
+	// and tenancy so both record into it from the first event.
+	s.Journal = trace.NewJournal(4 * trace.DefaultJournalCapacity)
+	for _, eng := range s.Engines {
+		eng.SetDecisionJournal(s.Journal)
+	}
+	// One shared admission gate fronts every engine's Submit path. The
+	// default budget is half the aggregate access capacity (each streamed
+	// unit crosses an uplink and a downlink) with 10% headroom for
+	// control traffic.
+	var nodeShare []float64
+	var sumShare float64
+	if opts.Tenancy != nil {
+		nodeShare = make([]float64, opts.Nodes)
+		for i := range c.Nodes {
+			down, up := c.Topology.DownBps[i], c.Topology.UpBps[i]
+			nodeShare[i] = down
+			if up < down {
+				nodeShare[i] = up
+			}
+			sumShare += nodeShare[i]
+		}
+		tcfg := *opts.Tenancy
+		if tcfg.CapacityBps <= 0 {
+			tcfg.CapacityBps = 0.9 * sumShare / 2
+		}
+		if tcfg.Clock == nil {
+			tcfg.Clock = c.Clock
+		}
+		if tcfg.Journal == nil {
+			tcfg.Journal = s.Journal
+		}
+		s.Gate = tenant.NewGate(tcfg)
+		for _, eng := range s.Engines {
+			eng.SetTenantGate(s.Gate)
+		}
+	}
 	// Start gossip only after the control plane has quiesced: its loops
 	// reschedule forever and would keep Run from returning. Membership is
 	// seeded with the full roster, mirroring the already-converged overlay;
@@ -205,6 +254,25 @@ func NewSystem(opts SystemOptions) *System {
 		var roster []overlay.NodeInfo
 		for _, node := range c.Nodes {
 			roster = append(roster, node.Info())
+		}
+		// The gate's budget shrinks when a member dies: its access-link
+		// contribution is gone, so fair shares must re-settle. Every
+		// node's detector reports the same death; shrink once.
+		nodeByID := make(map[overlay.ID]int, len(c.Nodes))
+		for i, node := range c.Nodes {
+			nodeByID[node.Info().ID] = i
+		}
+		deadSeen := make(map[overlay.ID]bool)
+		onDead := func(info overlay.NodeInfo) {
+			if s.Gate == nil || deadSeen[info.ID] {
+				return
+			}
+			deadSeen[info.ID] = true
+			if i, ok := nodeByID[info.ID]; ok && sumShare > 0 {
+				s.Gate.AddCapacity(-s.Gate.CapacityBps() * nodeShare[i] / sumShare)
+				sumShare -= nodeShare[i]
+				nodeShare[i] = 0
+			}
 		}
 		for i, node := range c.Nodes {
 			gRng := rand.New(rand.NewSource(opts.Seed*9_999_991 + int64(i)))
@@ -219,6 +287,7 @@ func NewSystem(opts SystemOptions) *System {
 			g.OnMemberDead(func(info overlay.NodeInfo) {
 				n.RemovePeer(info.ID)
 				eng.OnPeerDead(info.ID)
+				onDead(info)
 			})
 			// Disseminated digests feed the control plane's drop-spike
 			// trigger (a no-op until an AdaptationConfig arms it).
@@ -233,12 +302,6 @@ func NewSystem(opts SystemOptions) *System {
 		for _, g := range s.Gossip {
 			g.Start()
 		}
-	}
-	// Every engine writes its decision traces into one shared journal,
-	// sized for a deployment's worth of adaptations.
-	s.Journal = trace.NewJournal(4 * trace.DefaultJournalCapacity)
-	for _, eng := range s.Engines {
-		eng.SetDecisionJournal(s.Journal)
 	}
 	// Enable adaptation only after the deployment has quiesced: the check
 	// loop reschedules forever.

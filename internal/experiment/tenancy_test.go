@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+
+	"rasc.dev/rasc/internal/spec"
+)
+
+// TestRunContentionIsolation is the tenancy acceptance scenario: at 2x
+// contention the Critical class keeps its full rate (its below-requested
+// meter stays ~0) while the BestEffort class absorbs the entire
+// shortfall; a rejected flash-crowd burst leaves the admitted tenants'
+// delivered rates untouched; and a departing Critical tenant's share
+// flows to the capped BestEffort tenants.
+func TestRunContentionIsolation(t *testing.T) {
+	res, err := RunContention(ContentionConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.Config
+	windowSec := cfg.Window.Seconds()
+
+	// Every tenant was admitted; one Critical app churned out at the end.
+	if got, want := res.Totals.Admitted, cfg.CriticalApps+cfg.BestEffortApps-1; got != want {
+		t.Errorf("admitted at end = %d, want %d", got, want)
+	}
+
+	for _, a := range res.Apps {
+		t.Logf("%-8s %-11s rateA=%5.2f rateB=%5.2f rateC=%5.2f belowA=%4.1fs belowB=%4.1fs cap=%6.0f",
+			a.App, a.Priority, a.RateA, a.RateB, a.RateC, a.BelowA, a.BelowB, a.CapBps)
+	}
+
+	for _, a := range res.Apps {
+		switch a.Priority {
+		case spec.Critical:
+			// Isolation: Critical tenants never sit below half their
+			// requested rate under 2x contention.
+			if a.BelowA > 0.1*windowSec {
+				t.Errorf("%s (critical) accrued %.1fs below-requested in window A, want ~0", a.App, a.BelowA)
+			}
+			if !a.Churned && a.BelowB > 0.1*windowSec {
+				t.Errorf("%s (critical) accrued %.1fs below-requested in window B, want ~0", a.App, a.BelowB)
+			}
+		case spec.BestEffort:
+			// The BestEffort class absorbs the shortfall: capped to ~1/3
+			// of demand, it spends essentially the whole window below the
+			// 1/2 threshold.
+			if a.BelowA < 0.5*windowSec {
+				t.Errorf("%s (best-effort) accrued only %.1fs below-requested in window A, want most of the %.0fs window", a.App, a.BelowA, windowSec)
+			}
+		}
+	}
+
+	// The flash crowd never composes: every burst application parks or
+	// bounces (queue capacity 16 < burst 20, so both verdicts appear).
+	if res.BurstAdmitted != 0 {
+		t.Errorf("burst admitted %d applications, want 0", res.BurstAdmitted)
+	}
+	if res.BurstQueued == 0 || res.BurstRejected == 0 {
+		t.Errorf("burst verdicts queued=%d rejected=%d, want both nonzero", res.BurstQueued, res.BurstRejected)
+	}
+	if got := res.BurstQueued + res.BurstRejected; got != cfg.BurstSize {
+		t.Errorf("burst verdicts total %d, want %d", got, cfg.BurstSize)
+	}
+
+	// The rejected burst does not degrade running tenants: delivered
+	// rates before and after it match within tolerance.
+	for _, a := range res.Apps {
+		tol := 0.3*a.RateA + 0.5
+		if diff := a.RateB - a.RateA; diff < -tol || diff > tol {
+			t.Errorf("%s delivered %.2f u/s before the burst, %.2f after — outside ±%.2f", a.App, a.RateA, a.RateB, tol)
+		}
+	}
+
+	// Churn: the departed Critical tenant's share reaches the BestEffort
+	// class, lifting its delivered rate.
+	for _, a := range res.Apps {
+		if a.Churned {
+			if a.RateC > 0.1 {
+				t.Errorf("churned %s still delivering %.2f u/s in window C", a.App, a.RateC)
+			}
+			continue
+		}
+		if a.Priority == spec.BestEffort && a.RateC < 1.2*a.RateA {
+			t.Errorf("%s (best-effort) delivered %.2f u/s after churn, want > 1.2x its %.2f u/s contention rate", a.App, a.RateC, a.RateA)
+		}
+	}
+
+	// The journal carries the admission decisions as first-class spans.
+	triggers := map[string]int{}
+	for _, d := range res.Decisions {
+		triggers[d.Trigger]++
+	}
+	if triggers["admit"] < cfg.CriticalApps+cfg.BestEffortApps {
+		t.Errorf("journal has %d admit decisions, want at least %d", triggers["admit"], cfg.CriticalApps+cfg.BestEffortApps)
+	}
+	if triggers["reject"] == 0 {
+		t.Error("journal has no reject decisions despite the rejected burst")
+	}
+}

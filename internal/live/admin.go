@@ -13,6 +13,7 @@ import (
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/telemetry"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
@@ -46,6 +47,7 @@ func (n *Node) ServeAdmin(addr string) (*AdminServer, error) {
 		return snap
 	}))
 	mux.Handle("/debug/rasc/trace", TraceHandler(func() *trace.Buffer { return n.Trace }))
+	mux.Handle("/debug/rasc/tenants", TenantsHandler(func() *tenant.Gate { return n.Gate }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 )
 
@@ -100,6 +101,39 @@ func TraceHandler(buffer func() *trace.Buffer) http.Handler {
 			hops = append(hops, hop{Stage: l.Stage, Count: l.Count, Mean: l.Mean.String()})
 		}
 		writeJSON(w, hops)
+	})
+}
+
+// tenantsResponse is the JSON body of /debug/rasc/tenants.
+type tenantsResponse struct {
+	// Totals is the gate's aggregate posture; Tenants every tracked
+	// application — admitted ones first (sorted by ID), then the
+	// admission queue in promotion order.
+	Totals  tenant.Totals   `json:"totals"`
+	Tenants []tenant.Status `json:"tenants"`
+}
+
+// TenantsHandler serves the admission gate's posture as indented JSON,
+// optionally filtered to one application with ?app=. gate runs per
+// request and may return nil when tenancy is off.
+func TenantsHandler(gate func() *tenant.Gate) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g := gate()
+		if g == nil {
+			http.Error(w, "tenancy disabled", http.StatusServiceUnavailable)
+			return
+		}
+		ts := g.Snapshot()
+		if app := r.URL.Query().Get("app"); app != "" {
+			kept := ts[:0]
+			for _, t := range ts {
+				if t.App == app {
+					kept = append(kept, t)
+				}
+			}
+			ts = kept
+		}
+		writeJSON(w, tenantsResponse{Totals: g.Totals(), Tenants: ts})
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
@@ -192,6 +193,40 @@ func TestTraceHandler(t *testing.T) {
 	defer nilSrv.Close()
 	if code, _ := get(t, nilSrv, "/?req=chain"); code != http.StatusServiceUnavailable {
 		t.Fatalf("nil buffer = %d, want 503", code)
+	}
+}
+
+func TestTenantsHandler(t *testing.T) {
+	// No Clock: admission timestamps stay zero and the body is byte-stable.
+	g := tenant.NewGate(tenant.Config{CapacityBps: 1e6, QueueCapacity: 4})
+	g.Admit("vault", spec.Critical, 6e5, nil)
+	g.Admit("batch", spec.BestEffort, 6e5, nil)
+	g.Admit("etl", spec.BestEffort, 8e5, nil) // over budget: queued
+	srv := httptest.NewServer(TenantsHandler(func() *tenant.Gate { return g }))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("tenants = %d", code)
+	}
+	checkGolden(t, "tenants.golden", body)
+
+	_, body = get(t, srv, "/?app=batch")
+	var filtered struct {
+		Totals  tenant.Totals   `json:"totals"`
+		Tenants []tenant.Status `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatalf("filtered body %q: %v", body, err)
+	}
+	if filtered.Totals.Admitted != 2 || len(filtered.Tenants) != 1 || filtered.Tenants[0].App != "batch" {
+		t.Fatalf("filtered = %+v", filtered)
+	}
+
+	nilSrv := httptest.NewServer(TenantsHandler(func() *tenant.Gate { return nil }))
+	defer nilSrv.Close()
+	if code, _ := get(t, nilSrv, "/"); code != http.StatusServiceUnavailable {
+		t.Fatalf("tenancy disabled = %d, want 503", code)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"rasc.dev/rasc/internal/services"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
@@ -85,6 +86,12 @@ type Config struct {
 	// checks plus incremental reallocation on member-dead, breaker-open
 	// and drop-spike events.
 	Adaptation *stream.AdaptationConfig
+	// Tenancy, when set, fronts this node's submission path with an
+	// admission gate (priority classes, fair-share caps, admission
+	// queue). A zero CapacityBps defaults to min(InBps, OutBps); Clock
+	// and Journal are filled in from the node. Served by
+	// /debug/rasc/tenants.
+	Tenancy *tenant.Config
 	// TraceEvents, when positive, attaches a per-unit event buffer of
 	// that capacity to the engine, served by /debug/rasc/trace.
 	TraceEvents int
@@ -115,6 +122,9 @@ type Node struct {
 	// Trace is the per-unit event buffer (nil unless Config.TraceEvents
 	// enabled it), served by /debug/rasc/trace.
 	Trace *trace.Buffer
+	// Gate is the node's admission gate (nil unless Config.Tenancy
+	// enabled it), served by /debug/rasc/tenants.
+	Gate *tenant.Gate
 
 	// clk is the node's base clock (wall time unless injected), used for
 	// the off-loop waits (join, submit).
@@ -265,6 +275,23 @@ func Start(cfg Config) (*Node, error) {
 		if cfg.TraceEvents > 0 {
 			n.Trace = trace.NewBuffer(cfg.TraceEvents)
 			n.Engine.SetTracer(n.Trace)
+		}
+		if cfg.Tenancy != nil {
+			tcfg := *cfg.Tenancy
+			if tcfg.CapacityBps <= 0 {
+				tcfg.CapacityBps = cfg.InBps
+				if cfg.OutBps < tcfg.CapacityBps {
+					tcfg.CapacityBps = cfg.OutBps
+				}
+			}
+			if tcfg.Clock == nil {
+				tcfg.Clock = clk
+			}
+			if tcfg.Journal == nil {
+				tcfg.Journal = n.Journal
+			}
+			n.Gate = tenant.NewGate(tcfg)
+			n.Engine.SetTenantGate(n.Gate)
 		}
 		if !cfg.DisableGossip {
 			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), cfg.Gossip)

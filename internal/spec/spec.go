@@ -25,6 +25,89 @@ type ServiceDef struct {
 	BytesRatio float64 `json:"bytesRatio"`
 }
 
+// Priority is an application's tenancy class. It decides the weight the
+// water-filling fairness allocator gives the application when aggregate
+// demand exceeds cluster capacity, and the preemption order under
+// contention: BestEffort tenants are downgraded or parked before Standard
+// ones, and Standard before Critical. The zero value is Standard, so
+// requests that predate multi-tenancy keep their behavior.
+type Priority int
+
+const (
+	// Standard is the default class: weighted fairly against other
+	// Standard tenants, above BestEffort, below Critical.
+	Standard Priority = iota
+	// Critical tenants get the largest fairness weight and are the last
+	// to be downgraded or preempted under contention.
+	Critical
+	// BestEffort tenants absorb contention first: they get the smallest
+	// fairness weight and are the first preempted into the admission
+	// queue.
+	BestEffort
+)
+
+// String returns the flag/JSON label of the class.
+func (p Priority) String() string {
+	switch p {
+	case Critical:
+		return "critical"
+	case Standard:
+		return "standard"
+	case BestEffort:
+		return "best-effort"
+	}
+	return "unknown"
+}
+
+// Rank orders classes for preemption: higher outranks lower. Critical=2,
+// Standard=1, BestEffort=0.
+func (p Priority) Rank() int {
+	switch p {
+	case Critical:
+		return 2
+	case Standard:
+		return 1
+	}
+	return 0
+}
+
+// ParsePriority converts a flag/JSON label back into a Priority. The
+// empty string is Standard (the default class).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "standard":
+		return Standard, nil
+	case "critical":
+		return Critical, nil
+	case "best-effort", "besteffort":
+		return BestEffort, nil
+	}
+	return Standard, fmt.Errorf("spec: unknown priority %q (want critical, standard or best-effort)", s)
+}
+
+// MarshalJSON writes the class label, keeping workload files readable.
+func (p Priority) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts a class label (or null for the default).
+func (p *Priority) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if s == "null" {
+		*p = Standard
+		return nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := ParsePriority(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // Substream is one sequential chain of services in a request graph,
 // terminating at the destination.
 type Substream struct {
@@ -57,6 +140,10 @@ type Request struct {
 	// stall (counted by the sink), after which playback restarts with
 	// the same delay.
 	PlayoutDelay time.Duration `json:"playoutDelay,omitempty"`
+	// Priority is the application's tenancy class (default Standard),
+	// consulted by the admission gate and the weighted max-min fairness
+	// allocator when concurrent applications contend for capacity.
+	Priority Priority `json:"priority,omitempty"`
 }
 
 // Validate checks structural sanity.
@@ -83,6 +170,11 @@ func (r Request) Validate() error {
 	}
 	if r.PlayoutDelay < 0 {
 		return fmt.Errorf("spec: request %s negative playout delay", r.ID)
+	}
+	switch r.Priority {
+	case Standard, Critical, BestEffort:
+	default:
+		return fmt.Errorf("spec: request %s has unknown priority %d", r.ID, r.Priority)
 	}
 	return nil
 }

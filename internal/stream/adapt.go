@@ -274,6 +274,16 @@ func (e *Engine) checkAdaptation(cfg AdaptationConfig) {
 		// rate retries composition at the full requirement — capacity
 		// may have freed since admission (dynamic rate allocation).
 		if st.admittedBelowDesired() {
+			// Unless the tenancy gate still caps the application below
+			// its desired rate: the re-submit would clamp right back to
+			// the cap, so the recompose would churn for nothing. Cap
+			// increases arrive as fair_share_changed events instead.
+			if e.tenantGate != nil {
+				if cap, ok := e.tenantGate.CapBps(reqID); ok &&
+					cap < st.desired.BitsPerSecond(st.desired.TotalRate())-1e-6 {
+					continue
+				}
+			}
 			e.controller.Publish(control.Event{Kind: control.UpgradePossible, App: reqID})
 		}
 	}
@@ -303,8 +313,17 @@ func (e *Engine) sampleAvailability(cfg AdaptationConfig) {
 		}
 		var got int64
 		var want int64
-		for l, ss := range st.graph.Request.Substreams {
-			want += int64(ss.Rate)
+		// The availability objective is measured against the rate the
+		// user asked for, not the (possibly fair-share-capped or
+		// best-effort) rate the live graph carries: a tenant downgraded
+		// under contention is below its requested rate even while it
+		// delivers its cap perfectly.
+		wantSubs := st.graph.Request.Substreams
+		if len(st.desired.Substreams) == len(wantSubs) {
+			wantSubs = st.desired.Substreams
+		}
+		for l := range st.graph.Request.Substreams {
+			want += int64(wantSubs[l].Rate)
 			sink := e.sinks[sinkKey(app, l)]
 			if sink == nil {
 				continue
@@ -368,7 +387,9 @@ func (e *Engine) Recompose(app string, upgrade bool, done func(error)) {
 	}
 	oldGraph := st.graph
 	desired := st.desired
-	e.Teardown(st.graph, cfg.Timeout)
+	// Internal teardown: the tenant keeps its admission through the
+	// recompose (the re-submit re-admits idempotently at the current cap).
+	e.teardown(st.graph, cfg.Timeout)
 	delete(e.origins, app)
 	// The application delivers nothing between teardown and the new
 	// graph's activation; charge that whole window to the availability

@@ -13,6 +13,7 @@ import (
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/sched"
 	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 )
 
@@ -115,6 +116,12 @@ type Engine struct {
 	// teardown-to-recompose window as below-threshold time (the app
 	// delivers nothing while down), keyed to the last accrual instant.
 	availDown map[string]time.Duration
+
+	// tenantGate, when set, fronts the Submit path with admission control
+	// and fair-share rate caps; pendingAdmission holds queued or preempted
+	// submissions awaiting promotion.
+	tenantGate       *tenant.Gate
+	pendingAdmission map[string]pendingSubmit
 
 	// statsProvider, when set, answers composition-time stats queries from
 	// a locally converged view (the gossip digest store) instead of

@@ -31,23 +31,32 @@ func (e *Engine) Submit(req spec.Request, composer core.Composer, timeout time.D
 		cb(nil, fmt.Errorf("stream: engine has no discovery directory"))
 		return
 	}
+	// The admission gate decides before any network work: a rejected or
+	// queued request costs no RPC and leaves no state anywhere, and an
+	// admitted one is capped to its fair-share rate. desired keeps the
+	// original rates, so upgrades know what the application wants.
+	desired := req
+	req, cb, parked := e.admit(req, composer, timeout, cb)
+	if parked {
+		return
+	}
 	services := req.Services()
 	e.Dir.LookupMany(services, timeout, func(hosts map[string][]overlay.NodeInfo, err error) {
 		if err != nil {
 			cb(nil, fmt.Errorf("stream: discovery: %w", err))
 			return
 		}
-		e.gatherStats(req, composer, timeout, hosts, cb)
+		e.gatherStats(req, desired, composer, timeout, hosts, cb)
 	})
 }
 
 // gatherStats fetches monitoring reports from every distinct candidate
 // host, then proceeds to composition.
-func (e *Engine) gatherStats(req spec.Request, composer core.Composer, timeout time.Duration,
+func (e *Engine) gatherStats(req, desired spec.Request, composer core.Composer, timeout time.Duration,
 	hosts map[string][]overlay.NodeInfo, cb func(*core.ExecutionGraph, error)) {
 
 	e.collectStats(hosts, timeout, func(reports map[overlay.ID]monitor.Report) {
-		e.compose(req, composer, timeout, hosts, reports, cb)
+		e.compose(req, desired, composer, timeout, hosts, reports, cb)
 	})
 }
 
@@ -156,7 +165,7 @@ func (e *Engine) buildInput(req spec.Request, hosts map[string][]overlay.NodeInf
 
 // compose builds the composer input and runs composition, then moves on to
 // instantiation.
-func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.Duration,
+func (e *Engine) compose(req, desired spec.Request, composer core.Composer, timeout time.Duration,
 	hosts map[string][]overlay.NodeInfo, reports map[overlay.ID]monitor.Report,
 	cb func(*core.ExecutionGraph, error)) {
 
@@ -174,7 +183,7 @@ func (e *Engine) compose(req spec.Request, composer core.Composer, timeout time.
 		cb(nil, err)
 		return
 	}
-	e.instantiate(g, req, timeout, cb)
+	e.instantiate(g, desired, timeout, cb)
 }
 
 // stageUnitBytes computes the input unit size at every stage of a
@@ -201,6 +210,12 @@ func (e *Engine) instantiate(g *core.ExecutionGraph, desired spec.Request, timeo
 	failed := false
 	done := func() {
 		if failed {
+			// Roll back the partial instantiation: hosts that acked are
+			// holding components that will never see traffic, silently
+			// consuming their capacity. Teardown is idempotent on hosts
+			// that never acked, so blanket-tearing the graph leaves every
+			// host's view exactly as before the attempt.
+			e.teardown(g, timeout)
 			cb(nil, fmt.Errorf("stream: instantiation failed for request %s", g.Request.ID))
 			return
 		}
@@ -274,8 +289,20 @@ func (e *Engine) activate(g *core.ExecutionGraph, sourceOuts map[int][]outSpec, 
 }
 
 // Teardown stops a request everywhere: local sources/components plus a
-// teardown RPC to every placement host in the graph.
+// teardown RPC to every placement host in the graph. The application's
+// admission is released — this is the origin-side "the stream is done"
+// path; internal restarts (recompose, preemption, rollback) use teardown
+// directly so the tenant keeps or re-queues its slot.
 func (e *Engine) Teardown(g *core.ExecutionGraph, timeout time.Duration) {
+	if e.tenantGate != nil {
+		e.tenantGate.Release(g.Request.ID)
+		delete(e.pendingAdmission, g.Request.ID)
+	}
+	e.teardown(g, timeout)
+}
+
+// teardown is Teardown without the admission release.
+func (e *Engine) teardown(g *core.ExecutionGraph, timeout time.Duration) {
 	e.StopRequest(g.Request.ID)
 	body, _ := json.Marshal(teardownMsg{Req: g.Request.ID})
 	sent := make(map[overlay.ID]bool)

@@ -44,3 +44,10 @@ var (
 	telDropUplink    = telStreamDropped.With("uplink")
 	telDropDownlink  = telStreamDropped.With("downlink")
 )
+
+// AppTimeBelowSeconds reads the application's accrued below-threshold
+// time from the availability counter — the per-priority isolation
+// measurement the tenancy experiments assert on.
+func AppTimeBelowSeconds(app string) float64 {
+	return telAppTimeBelow.With(app).Value()
+}

@@ -1,0 +1,117 @@
+package tenant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFairSharesInvariants property-tests the weighted max-min invariants
+// over randomized demand sets (run under -race in CI):
+//
+//  1. no tenant is allocated more than its demand;
+//  2. work conservation: either every tenant is satisfied or the whole
+//     capacity is allocated;
+//  3. all unsatisfied tenants share the same normalized allocation
+//     (share/weight — the final water level).
+func TestFairSharesInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		demands := make([]Demand, n)
+		var total float64
+		for i := range demands {
+			demands[i] = Demand{
+				App:    string(rune('a' + i)),
+				Bps:    float64(1+rng.Intn(1000)) * 100,
+				Weight: []float64{1, 2, 4}[rng.Intn(3)],
+			}
+			total += demands[i].Bps
+		}
+		// Capacity from deep contention to surplus.
+		capacity := total * (0.1 + 1.4*rng.Float64())
+		shares := FairShares(demands, capacity)
+
+		var allocated float64
+		satisfiedAll := true
+		level := -1.0
+		for i, d := range demands {
+			s := shares[i]
+			if s < 0 || s > d.Bps+1e-6 {
+				t.Logf("seed %d: share %g outside [0,%g]", seed, s, d.Bps)
+				return false
+			}
+			allocated += s
+			if s < d.Bps-1e-6 {
+				satisfiedAll = false
+				norm := s / d.Weight
+				if level < 0 {
+					level = norm
+				} else if math.Abs(norm-level) > 1e-6*math.Max(1, level) {
+					t.Logf("seed %d: unsatisfied tenants at different levels %g vs %g", seed, norm, level)
+					return false
+				}
+			}
+		}
+		if !satisfiedAll && math.Abs(allocated-capacity) > 1e-6*math.Max(1, capacity) {
+			t.Logf("seed %d: not work-conserving: allocated %g of %g", seed, allocated, capacity)
+			return false
+		}
+		if satisfiedAll && allocated > capacity+1e-6 {
+			t.Logf("seed %d: over-allocated %g of %g", seed, allocated, capacity)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairSharesDeterministic(t *testing.T) {
+	demands := []Demand{
+		{App: "a", Bps: 1000, Weight: 1},
+		{App: "b", Bps: 1000, Weight: 1},
+		{App: "c", Bps: 4000, Weight: 2},
+	}
+	first := FairShares(demands, 3000)
+	for i := 0; i < 50; i++ {
+		again := FairShares(demands, 3000)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d: share[%d] %v != %v", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+func TestFairSharesWeights(t *testing.T) {
+	// Two unsatisfied tenants, weights 4 and 1: shares split 4:1.
+	demands := []Demand{
+		{App: "critical", Bps: 10000, Weight: 4},
+		{App: "best-effort", Bps: 10000, Weight: 1},
+	}
+	shares := FairShares(demands, 5000)
+	if math.Abs(shares[0]-4000) > 1e-6 || math.Abs(shares[1]-1000) > 1e-6 {
+		t.Fatalf("weighted split got %v, want [4000 1000]", shares)
+	}
+}
+
+func TestFairSharesEdgeCases(t *testing.T) {
+	if got := FairShares(nil, 1000); len(got) != 0 {
+		t.Fatalf("nil demands: %v", got)
+	}
+	if got := FairShares([]Demand{{App: "a", Bps: 100, Weight: 1}}, 0); got[0] != 0 {
+		t.Fatalf("zero capacity: %v", got)
+	}
+	got := FairShares([]Demand{{App: "a", Bps: 0, Weight: 1}, {App: "b", Bps: 500, Weight: 1}}, 1000)
+	if got[0] != 0 || got[1] != 500 {
+		t.Fatalf("zero-demand tenant: %v", got)
+	}
+	// Surplus capacity satisfies everyone exactly.
+	got = FairShares([]Demand{{App: "a", Bps: 300, Weight: 1}, {App: "b", Bps: 200, Weight: 4}}, 10000)
+	if got[0] != 300 || got[1] != 200 {
+		t.Fatalf("surplus: %v", got)
+	}
+}

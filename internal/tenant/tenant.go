@@ -1,0 +1,761 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"rasc.dev/rasc/internal/clock"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// Sentinel errors for admission verdicts; match them with errors.Is. The
+// concrete error carried by a Decision is an *AdmissionError wrapping one
+// of these.
+var (
+	// ErrAdmissionRejected reports that the gate turned the application
+	// away: admitting it would push a running tenant of equal or higher
+	// priority below its guaranteed share, and the admission queue is
+	// full (or disabled).
+	ErrAdmissionRejected = errors.New("tenant: admission rejected")
+	// ErrAdmissionQueued reports that the application was parked in the
+	// admission queue; it will be submitted automatically when capacity
+	// frees up.
+	ErrAdmissionQueued = errors.New("tenant: admission queued")
+)
+
+// AdmissionError is the typed verdict of a failed admission.
+type AdmissionError struct {
+	App      string
+	Priority spec.Priority
+	// Queued distinguishes a parked application (retried automatically)
+	// from a rejected one.
+	Queued bool
+	// DemandBps is the application's requested aggregate rate;
+	// CapacityBps the gate's budget at decision time.
+	DemandBps   float64
+	CapacityBps float64
+	Reason      string
+}
+
+func (e *AdmissionError) Error() string {
+	verb := "rejected"
+	if e.Queued {
+		verb = "queued"
+	}
+	return fmt.Sprintf("tenant: %s %s (%s, %.0f bps of %.0f bps budget): %s",
+		e.App, verb, e.Priority, e.DemandBps, e.CapacityBps, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrAdmissionRejected/ErrAdmissionQueued)
+// work through the typed error.
+func (e *AdmissionError) Unwrap() error {
+	if e.Queued {
+		return ErrAdmissionQueued
+	}
+	return ErrAdmissionRejected
+}
+
+// State is a tenant's admission state.
+type State int
+
+const (
+	// StateAdmitted: the tenant holds a fair-share allocation and may run.
+	StateAdmitted State = iota
+	// StateQueued: the tenant waits in the admission queue.
+	StateQueued
+	// StateRejected: the tenant was turned away (not retained by the gate).
+	StateRejected
+)
+
+// String returns the snake-free label used in snapshots and telemetry.
+func (s State) String() string {
+	switch s {
+	case StateAdmitted:
+		return "admitted"
+	case StateQueued:
+		return "queued"
+	case StateRejected:
+		return "rejected"
+	}
+	return "unknown"
+}
+
+// Owner receives the gate's asynchronous verdicts about a tenant it
+// admitted. Implementations must not call back into the gate
+// synchronously (the stream engine hops onto its own loop first).
+type Owner interface {
+	// TenantCapChanged reports that a fairness recompute moved the
+	// tenant's rate cap (bits/sec); the owner should reallocate the
+	// application to the new cap.
+	TenantCapChanged(app string, capBps float64)
+	// TenantPreempted reports that contention pushed the tenant out: the
+	// owner should tear the application down; the gate holds it in the
+	// admission queue.
+	TenantPreempted(app string)
+	// TenantPromoted reports that a queued tenant now fits: the owner
+	// should submit the application.
+	TenantPromoted(app string)
+}
+
+// Config parameterizes a Gate. The zero value is usable but admits
+// nothing (zero capacity); set CapacityBps.
+type Config struct {
+	// CapacityBps is the aggregate cluster capacity the gate budgets, in
+	// bits/sec. The gate's feasibility probe is a ledger against this
+	// budget — cheap (no solver run), with the min-cost composer behind
+	// it still the precise check (a composition that fails releases the
+	// admission).
+	CapacityBps float64
+	// MaxTenants bounds concurrently admitted applications (0 =
+	// unlimited).
+	MaxTenants int
+	// QueueCapacity bounds the admission queue (default 16; negative
+	// disables queuing, so every infeasible admission is rejected).
+	QueueCapacity int
+	// MinShareFraction is the guaranteed floor: a tenant whose fair
+	// share falls below this fraction of its demand is not viable — a
+	// candidate is queued/rejected instead of admitted below it, and a
+	// running tenant pushed below it by contention is preempted
+	// (default 0.5, matching the adaptation plane's MinRateFraction).
+	MinShareFraction float64
+	// WeightCritical, WeightStandard and WeightBestEffort are the
+	// water-filling weights of the priority classes (defaults 4, 2, 1).
+	WeightCritical   float64
+	WeightStandard   float64
+	WeightBestEffort float64
+	// Clock timestamps journal spans (optional; zero times without it).
+	Clock clock.Clock
+	// Journal, when set, records admit/reject/preempt/promote decisions
+	// as first-class decision traces.
+	Journal *trace.Journal
+}
+
+func (c *Config) defaults() {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 16
+	}
+	if c.QueueCapacity < 0 {
+		c.QueueCapacity = 0
+	}
+	if c.MinShareFraction <= 0 {
+		c.MinShareFraction = 0.5
+	}
+	if c.WeightCritical <= 0 {
+		c.WeightCritical = 4
+	}
+	if c.WeightStandard <= 0 {
+		c.WeightStandard = 2
+	}
+	if c.WeightBestEffort <= 0 {
+		c.WeightBestEffort = 1
+	}
+}
+
+// Weight returns the configured water-filling weight of a class.
+func (c *Config) Weight(p spec.Priority) float64 {
+	switch p {
+	case spec.Critical:
+		return c.WeightCritical
+	case spec.BestEffort:
+		return c.WeightBestEffort
+	}
+	return c.WeightStandard
+}
+
+// Decision is the gate's verdict on one admission attempt.
+type Decision struct {
+	State State
+	// CapBps is the admitted fair-share rate cap (≤ the demand); only
+	// meaningful when State is StateAdmitted.
+	CapBps float64
+	// New reports a first admission; false for the idempotent re-admit
+	// of an already-admitted application (a recompose resubmitting).
+	New bool
+	// Err is the typed *AdmissionError for queued/rejected verdicts.
+	Err error
+}
+
+// tenantState is the gate's record of one tenant.
+type tenantState struct {
+	app         string
+	pri         spec.Priority
+	demandBps   float64
+	capBps      float64
+	owner       Owner
+	state       State
+	seq         int64 // admission order, for FIFO queue ties
+	admittedAt  time.Duration
+	preemptions int
+}
+
+// Status is a tenant's externally visible posture, served by the
+// /debug/rasc/tenants endpoint and System.Tenants.
+type Status struct {
+	App       string  `json:"app"`
+	Priority  string  `json:"priority"`
+	State     string  `json:"state"`
+	DemandBps float64 `json:"demandBps"`
+	// CapBps is the current fair-share rate cap (admitted tenants only).
+	CapBps float64 `json:"capBps,omitempty"`
+	// Preemptions counts how many times contention pushed the tenant
+	// back into the queue.
+	Preemptions int           `json:"preemptions,omitempty"`
+	AdmittedAt  time.Duration `json:"admittedAt,omitempty"`
+}
+
+// Totals is the gate's aggregate posture.
+type Totals struct {
+	Admitted    int     `json:"admitted"`
+	Queued      int     `json:"queued"`
+	CapacityBps float64 `json:"capacityBps"`
+	// DemandBps is the aggregate requested rate of admitted tenants;
+	// AllocatedBps the aggregate of their fair-share caps.
+	DemandBps    float64 `json:"demandBps"`
+	AllocatedBps float64 `json:"allocatedBps"`
+	Preemptions  int64   `json:"preemptions"`
+	Rejections   int64   `json:"rejections"`
+}
+
+// Gate is a per-cluster admission controller with weighted max-min
+// fairness. All methods are safe for concurrent use; owner notifications
+// fire outside the gate's lock, in deterministic order.
+type Gate struct {
+	cfg Config
+
+	mu       sync.Mutex
+	capacity float64
+	admitted map[string]*tenantState
+	queue    []*tenantState // rank-descending, FIFO within a class
+	nextSeq  int64
+
+	preemptions int64
+	rejections  int64
+}
+
+// NewGate builds a gate budgeting cfg.CapacityBps.
+func NewGate(cfg Config) *Gate {
+	cfg.defaults()
+	g := &Gate{cfg: cfg, capacity: cfg.CapacityBps, admitted: make(map[string]*tenantState)}
+	telCapacity.Set(g.capacity)
+	return g
+}
+
+// notifs collects owner notifications to deliver outside the lock.
+type notifs struct {
+	preempted []*tenantState
+	capChange []*tenantState
+	promoted  []*tenantState
+}
+
+func (n *notifs) deliver() {
+	for _, t := range n.preempted {
+		if t.owner != nil {
+			t.owner.TenantPreempted(t.app)
+		}
+	}
+	for _, t := range n.capChange {
+		if t.owner != nil {
+			t.owner.TenantCapChanged(t.app, t.capBps)
+		}
+	}
+	for _, t := range n.promoted {
+		if t.owner != nil {
+			t.owner.TenantPromoted(t.app)
+		}
+	}
+}
+
+func (g *Gate) now() time.Duration {
+	if g.cfg.Clock == nil {
+		return 0
+	}
+	return g.cfg.Clock.Now()
+}
+
+// record writes one admission decision into the journal.
+func (g *Gate) record(app, trigger, cause string, err error, attrs ...trace.Attr) {
+	if g.cfg.Journal == nil {
+		return
+	}
+	now := g.now()
+	d := g.cfg.Journal.Begin(now, app, trigger, cause)
+	d.Span(trigger, now, now, attrs...)
+	d.Complete(now, "admission", err)
+}
+
+// Admit decides whether the application may run. The demand is the
+// application's aggregate requested rate in bits/sec; the owner receives
+// later cap changes, preemptions and (for queued tenants) the promotion.
+// Re-admitting an already-admitted application is idempotent and returns
+// its current cap — the path a recompose takes.
+func (g *Gate) Admit(app string, pri spec.Priority, demandBps float64, owner Owner) Decision {
+	g.mu.Lock()
+	if t, ok := g.admitted[app]; ok {
+		// Idempotent re-admit (recompose). A changed demand re-settles
+		// the allocation; same demand just reports the standing cap.
+		if t.demandBps != demandBps {
+			t.demandBps = demandBps
+			n := &notifs{}
+			g.rebalanceLocked(n, t)
+			g.refreshGaugesLocked()
+			g.mu.Unlock()
+			n.deliver()
+			return Decision{State: StateAdmitted, CapBps: t.capBps}
+		}
+		cap := t.capBps
+		g.mu.Unlock()
+		return Decision{State: StateAdmitted, CapBps: cap}
+	}
+	for _, q := range g.queue {
+		if q.app == app {
+			err := g.admissionErrLocked(q, true, "already queued")
+			g.mu.Unlock()
+			return Decision{State: StateQueued, Err: err}
+		}
+	}
+
+	cand := &tenantState{app: app, pri: pri, demandBps: demandBps, owner: owner, seq: g.nextSeq}
+	g.nextSeq++
+
+	if g.cfg.MaxTenants > 0 && len(g.admitted) >= g.cfg.MaxTenants {
+		dec := g.parkLocked(cand, "tenant limit reached")
+		g.refreshGaugesLocked()
+		g.mu.Unlock()
+		return dec
+	}
+	shares, victims, ok := g.solveLocked(cand, true)
+	if !ok {
+		dec := g.parkLocked(cand, "fair share below guaranteed floor")
+		g.refreshGaugesLocked()
+		g.mu.Unlock()
+		return dec
+	}
+	n := &notifs{}
+	g.commitLocked(cand, shares, victims, n)
+	cand.state = StateAdmitted
+	cand.admittedAt = g.now()
+	telAdmissions.With("admitted").Inc()
+	g.record(app, "admit", fmt.Sprintf("priority=%s demand=%.0fbps", pri, demandBps), nil,
+		trace.A("priority", pri.String()),
+		trace.AInt("demand_bps", int64(demandBps)),
+		trace.AInt("cap_bps", int64(cand.capBps)),
+		trace.AInt("victims", int64(len(victims))))
+	g.refreshGaugesLocked()
+	g.mu.Unlock()
+	n.deliver()
+	return Decision{State: StateAdmitted, CapBps: cand.capBps, New: true}
+}
+
+// admissionErrLocked builds the typed verdict error.
+func (g *Gate) admissionErrLocked(t *tenantState, queued bool, reason string) error {
+	return &AdmissionError{
+		App: t.app, Priority: t.pri, Queued: queued,
+		DemandBps: t.demandBps, CapacityBps: g.capacity, Reason: reason,
+	}
+}
+
+// parkLocked queues the candidate if there is room, else rejects it.
+func (g *Gate) parkLocked(cand *tenantState, reason string) Decision {
+	if len(g.queue) < g.cfg.QueueCapacity {
+		cand.state = StateQueued
+		g.enqueueLocked(cand)
+		telAdmissions.With("queued").Inc()
+		err := g.admissionErrLocked(cand, true, reason)
+		g.record(cand.app, "admit", reason, err,
+			trace.A("priority", cand.pri.String()),
+			trace.AInt("demand_bps", int64(cand.demandBps)),
+			trace.ABool("queued", true))
+		return Decision{State: StateQueued, Err: err}
+	}
+	g.rejections++
+	telAdmissions.With("rejected").Inc()
+	err := g.admissionErrLocked(cand, false, reason)
+	g.record(cand.app, "reject", reason, err,
+		trace.A("priority", cand.pri.String()),
+		trace.AInt("demand_bps", int64(cand.demandBps)))
+	return Decision{State: StateRejected, Err: err}
+}
+
+// enqueueLocked inserts by priority rank (descending), FIFO within a
+// class.
+func (g *Gate) enqueueLocked(t *tenantState) {
+	i := sort.Search(len(g.queue), func(i int) bool {
+		if g.queue[i].pri.Rank() != t.pri.Rank() {
+			return g.queue[i].pri.Rank() < t.pri.Rank()
+		}
+		return g.queue[i].seq > t.seq
+	})
+	g.queue = append(g.queue, nil)
+	copy(g.queue[i+1:], g.queue[i:])
+	g.queue[i] = t
+}
+
+// solveLocked computes the water-filling allocation with cand tentatively
+// in the pool (cand nil = rebalance of the standing tenants). It returns
+// the per-app shares and the tenants that must be preempted to make the
+// allocation viable. ok is false when no viable allocation exists without
+// degrading a tenant of rank ≥ cand's below the guaranteed floor.
+//
+// allowEvict false (queue promotions) demands a clean fit: no preemption,
+// no floor violations.
+func (g *Gate) solveLocked(cand *tenantState, allowEvict bool) (map[string]float64, []*tenantState, bool) {
+	pool := make([]*tenantState, 0, len(g.admitted)+1)
+	for _, t := range g.admitted {
+		pool = append(pool, t)
+	}
+	if cand != nil {
+		pool = append(pool, cand)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].app < pool[j].app })
+	var victims []*tenantState
+	for {
+		demands := make([]Demand, len(pool))
+		for i, t := range pool {
+			demands[i] = Demand{App: t.app, Bps: t.demandBps, Weight: g.cfg.Weight(t.pri)}
+		}
+		shares := FairShares(demands, g.capacity)
+		viable := true
+		for i, t := range pool {
+			if shares[i] < g.cfg.MinShareFraction*t.demandBps-1e-9 {
+				viable = false
+				break
+			}
+		}
+		if viable {
+			out := make(map[string]float64, len(pool))
+			for i, t := range pool {
+				out[t.app] = shares[i]
+			}
+			return out, victims, true
+		}
+		if !allowEvict {
+			return nil, nil, false
+		}
+		// Evict the lowest-ranked evictable tenant: below cand's rank in
+		// admission mode, below the pool's top rank (and itself below
+		// floor) in rebalance mode. Ties: largest demand frees the most,
+		// then app for determinism.
+		var best *tenantState
+		bestIdx := -1
+		for i, t := range pool {
+			if t == cand {
+				continue
+			}
+			if cand != nil {
+				if t.pri.Rank() >= cand.pri.Rank() {
+					continue
+				}
+			} else {
+				if t.pri.Rank() >= maxRank(pool) || shares[i] >= g.cfg.MinShareFraction*t.demandBps-1e-9 {
+					continue
+				}
+			}
+			if best == nil || less(t, best) {
+				best, bestIdx = t, i
+			}
+		}
+		if best == nil {
+			if cand == nil {
+				// Rebalance with nothing to shed: the surviving class
+				// shares the shortage below floor.
+				out := make(map[string]float64, len(pool))
+				for i, t := range pool {
+					out[t.app] = shares[i]
+				}
+				return out, victims, true
+			}
+			return nil, nil, false
+		}
+		victims = append(victims, best)
+		pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+	}
+}
+
+// less orders eviction candidates: lowest rank first, then largest
+// demand, then app ascending.
+func less(a, b *tenantState) bool {
+	if a.pri.Rank() != b.pri.Rank() {
+		return a.pri.Rank() < b.pri.Rank()
+	}
+	if a.demandBps != b.demandBps {
+		return a.demandBps > b.demandBps
+	}
+	return a.app < b.app
+}
+
+func maxRank(pool []*tenantState) int {
+	r := 0
+	for _, t := range pool {
+		if t.pri.Rank() > r {
+			r = t.pri.Rank()
+		}
+	}
+	return r
+}
+
+// commitLocked applies a solved allocation: victims move to the queue,
+// cand (if any) joins the admitted set, and cap changes are collected for
+// delivery.
+func (g *Gate) commitLocked(cand *tenantState, shares map[string]float64, victims []*tenantState, n *notifs) {
+	telRecomputes.Inc()
+	for _, v := range victims {
+		delete(g.admitted, v.app)
+		v.preemptions++
+		g.preemptions++
+		telPreemptions.Inc()
+		g.record(v.app, "preempt", "displaced by higher-priority contention", nil,
+			trace.A("priority", v.pri.String()),
+			trace.AInt("preemptions", int64(v.preemptions)))
+		if len(g.queue) < g.cfg.QueueCapacity {
+			v.state = StateQueued
+			v.seq = g.nextSeq // re-queue at the back of its class
+			g.nextSeq++
+			g.enqueueLocked(v)
+		} else {
+			v.state = StateRejected
+			g.rejections++
+			telAdmissions.With("rejected").Inc()
+			g.record(v.app, "reject", "preempted with full admission queue",
+				g.admissionErrLocked(v, false, "preempted with full admission queue"))
+		}
+		n.preempted = append(n.preempted, v)
+	}
+	if cand != nil {
+		g.admitted[cand.app] = cand
+	}
+	apps := make([]string, 0, len(g.admitted))
+	for app := range g.admitted {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		t := g.admitted[app]
+		cap, ok := shares[app]
+		if !ok {
+			continue
+		}
+		if t == cand {
+			t.capBps = cap
+			continue
+		}
+		if math.Abs(cap-t.capBps) > 1e-6 {
+			t.capBps = cap
+			telCapChanges.Inc()
+			n.capChange = append(n.capChange, t)
+		}
+	}
+}
+
+// rebalanceLocked re-settles the standing allocation (after a departure,
+// demand update or capacity change), then promotes queued tenants that
+// now fit cleanly.
+func (g *Gate) rebalanceLocked(n *notifs, skipNotify *tenantState) {
+	if len(g.admitted) > 0 {
+		shares, victims, _ := g.solveLocked(nil, true)
+		g.commitLocked(nil, shares, victims, n)
+		if skipNotify != nil {
+			kept := n.capChange[:0]
+			for _, t := range n.capChange {
+				if t != skipNotify {
+					kept = append(kept, t)
+				}
+			}
+			n.capChange = kept
+		}
+	}
+	g.promoteLocked(n)
+}
+
+// promoteLocked admits queued tenants that fit without preemption, in
+// priority order.
+func (g *Gate) promoteLocked(n *notifs) {
+	for i := 0; i < len(g.queue); {
+		q := g.queue[i]
+		if g.cfg.MaxTenants > 0 && len(g.admitted) >= g.cfg.MaxTenants {
+			return
+		}
+		shares, _, ok := g.solveLocked(q, false)
+		if !ok {
+			i++
+			continue
+		}
+		g.queue = append(g.queue[:i], g.queue[i+1:]...)
+		g.commitLocked(q, shares, nil, n)
+		q.state = StateAdmitted
+		q.admittedAt = g.now()
+		telAdmissions.With("promoted").Inc()
+		g.record(q.app, "promote", "capacity freed", nil,
+			trace.A("priority", q.pri.String()),
+			trace.AInt("cap_bps", int64(q.capBps)))
+		n.promoted = append(n.promoted, q)
+	}
+}
+
+// Release removes the application from the gate — it finished, was torn
+// down, or its composition failed — re-settling the remaining tenants'
+// caps and promoting queued ones that now fit. Releasing an unknown or
+// queued application just forgets it.
+func (g *Gate) Release(app string) {
+	g.mu.Lock()
+	if _, ok := g.admitted[app]; ok {
+		delete(g.admitted, app)
+		n := &notifs{}
+		g.rebalanceLocked(n, nil)
+		g.refreshGaugesLocked()
+		g.mu.Unlock()
+		n.deliver()
+		return
+	}
+	for i, q := range g.queue {
+		if q.app == app {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	g.refreshGaugesLocked()
+	g.mu.Unlock()
+}
+
+// SetCapacity rebases the gate's budget (membership or provisioning
+// change) and re-settles every allocation.
+func (g *Gate) SetCapacity(bps float64) {
+	g.mu.Lock()
+	if bps < 0 {
+		bps = 0
+	}
+	g.capacity = bps
+	n := &notifs{}
+	g.rebalanceLocked(n, nil)
+	g.refreshGaugesLocked()
+	g.mu.Unlock()
+	n.deliver()
+}
+
+// AddCapacity adjusts the budget by delta (negative when a member died).
+func (g *Gate) AddCapacity(delta float64) {
+	g.mu.Lock()
+	cap := g.capacity + delta
+	g.mu.Unlock()
+	g.SetCapacity(cap)
+}
+
+// CapacityBps returns the current budget.
+func (g *Gate) CapacityBps() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity
+}
+
+// Has reports whether the gate still tracks the application (admitted or
+// queued).
+func (g *Gate) Has(app string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.admitted[app]; ok {
+		return true
+	}
+	for _, q := range g.queue {
+		if q.app == app {
+			return true
+		}
+	}
+	return false
+}
+
+// CapBps returns the application's current fair-share rate cap; ok is
+// false when the application is not admitted.
+func (g *Gate) CapBps(app string) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t, ok := g.admitted[app]
+	if !ok {
+		return 0, false
+	}
+	return t.capBps, true
+}
+
+// Totals returns the gate's aggregate posture.
+func (g *Gate) Totals() Totals {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tt := Totals{
+		Admitted: len(g.admitted), Queued: len(g.queue),
+		CapacityBps: g.capacity, Preemptions: g.preemptions, Rejections: g.rejections,
+	}
+	for _, t := range g.admitted {
+		tt.DemandBps += t.demandBps
+		tt.AllocatedBps += t.capBps
+	}
+	return tt
+}
+
+// Snapshot lists every retained tenant: admitted ones sorted by app, then
+// the queue in promotion order.
+func (g *Gate) Snapshot() []Status {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	apps := make([]string, 0, len(g.admitted))
+	for app := range g.admitted {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	out := make([]Status, 0, len(apps)+len(g.queue))
+	for _, app := range apps {
+		t := g.admitted[app]
+		out = append(out, Status{
+			App: t.app, Priority: t.pri.String(), State: t.state.String(),
+			DemandBps: t.demandBps, CapBps: t.capBps,
+			Preemptions: t.preemptions, AdmittedAt: t.admittedAt,
+		})
+	}
+	for _, t := range g.queue {
+		out = append(out, Status{
+			App: t.app, Priority: t.pri.String(), State: t.state.String(),
+			DemandBps: t.demandBps, Preemptions: t.preemptions,
+		})
+	}
+	return out
+}
+
+// refreshGaugesLocked re-derives the posture gauges.
+func (g *Gate) refreshGaugesLocked() {
+	counts := map[spec.Priority]int{}
+	var demand float64
+	for _, t := range g.admitted {
+		counts[t.pri]++
+		demand += t.demandBps
+	}
+	for _, p := range []spec.Priority{spec.Critical, spec.Standard, spec.BestEffort} {
+		telActive.With(p.String()).Set(float64(counts[p]))
+	}
+	telQueued.Set(float64(len(g.queue)))
+	telCapacity.Set(g.capacity)
+	telDemand.Set(demand)
+}
+
+// CapRequest scales a request's substream rates down proportionally so
+// the aggregate fits capBps, keeping every substream at least one
+// unit/sec. A cap at or above the demand returns the request unchanged.
+func CapRequest(req spec.Request, capBps float64) spec.Request {
+	demand := req.BitsPerSecond(req.TotalRate())
+	if capBps <= 0 || demand <= capBps {
+		return req
+	}
+	f := capBps / demand
+	subs := make([]spec.Substream, len(req.Substreams))
+	copy(subs, req.Substreams)
+	for i := range subs {
+		r := int(math.Floor(float64(subs[i].Rate) * f))
+		if r < 1 {
+			r = 1
+		}
+		subs[i].Rate = r
+	}
+	req.Substreams = subs
+	return req
+}

@@ -32,6 +32,36 @@ type Config struct {
 	// MaxSubstreams bounds the substreams per request (default 2).
 	// Services are partitioned across substreams.
 	MaxSubstreams int
+	// Priorities is the tenancy-class mix of generated requests. The
+	// zero value leaves every request at the default Standard class.
+	Priorities PriorityMix
+}
+
+// PriorityMix weights the tenancy classes of generated requests. Each
+// request draws its class proportionally to the (non-negative) weights;
+// an all-zero mix generates only Standard requests.
+type PriorityMix struct {
+	Critical   float64
+	Standard   float64
+	BestEffort float64
+}
+
+func (m PriorityMix) total() float64 { return m.Critical + m.Standard + m.BestEffort }
+
+// draw picks a class from the mix using one uniform sample in [0,1).
+func (m PriorityMix) draw(u float64) spec.Priority {
+	t := m.total()
+	if t <= 0 {
+		return spec.Standard
+	}
+	u *= t
+	if u < m.Critical {
+		return spec.Critical
+	}
+	if u < m.Critical+m.Standard {
+		return spec.Standard
+	}
+	return spec.BestEffort
 }
 
 func (c *Config) defaults() {
@@ -117,6 +147,7 @@ func (g *Generator) Next() spec.Request {
 		ID:         fmt.Sprintf("req-%03d", g.n),
 		UnitBytes:  cfg.UnitBytes,
 		Substreams: subs,
+		Priority:   cfg.Priorities.draw(g.rng.Float64()),
 	}
 }
 
@@ -125,6 +156,31 @@ func (g *Generator) Batch(n int) []spec.Request {
 	out := make([]spec.Request, n)
 	for i := range out {
 		out[i] = g.Next()
+	}
+	return out
+}
+
+// FlashCrowd generates a tenant burst: n single-substream requests all
+// chaining through the one hot service — the 10–100x fan-in on one
+// service that admission control must absorb without degrading running
+// applications. Rates draw from the generator's usual distribution; IDs
+// continue the generator's numbering with a "flash-" prefix so burst
+// requests are recognizable in journals and metrics.
+func (g *Generator) FlashCrowd(n int, service string, pri spec.Priority) []spec.Request {
+	cfg := g.cfg
+	out := make([]spec.Request, n)
+	for i := range out {
+		g.n++
+		rate := cfg.RateUnits
+		if rate == 0 {
+			rate = cfg.RateChoices[g.rng.Intn(len(cfg.RateChoices))]
+		}
+		out[i] = spec.Request{
+			ID:         fmt.Sprintf("flash-%03d", g.n),
+			UnitBytes:  cfg.UnitBytes,
+			Substreams: []spec.Substream{{Services: []string{service}, Rate: rate}},
+			Priority:   pri,
+		}
 	}
 	return out
 }

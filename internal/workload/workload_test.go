@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rasc.dev/rasc/internal/services"
+	"rasc.dev/rasc/internal/spec"
 )
 
 func TestGeneratorProducesValidRequests(t *testing.T) {
@@ -103,4 +104,59 @@ func TestGeneratorPanicsWithoutServices(t *testing.T) {
 		}
 	}()
 	NewGenerator(Config{}, 1)
+}
+
+func TestGeneratorPriorityMix(t *testing.T) {
+	g := NewGenerator(Config{
+		Services:   services.Standard().Names(),
+		Priorities: PriorityMix{Critical: 1, Standard: 2, BestEffort: 1},
+	}, 7)
+	counts := map[spec.Priority]int{}
+	for i := 0; i < 400; i++ {
+		req := g.Next()
+		if err := req.Validate(); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		counts[req.Priority]++
+	}
+	// Every class appears, roughly proportional to its weight.
+	if counts[spec.Critical] == 0 || counts[spec.Standard] == 0 || counts[spec.BestEffort] == 0 {
+		t.Fatalf("class missing from mix: %v", counts)
+	}
+	if counts[spec.Standard] < counts[spec.Critical] {
+		t.Fatalf("standard (weight 2) should dominate critical (weight 1): %v", counts)
+	}
+	// Zero mix stays Standard-only (backward compatible).
+	g2 := NewGenerator(Config{Services: services.Standard().Names()}, 7)
+	for i := 0; i < 50; i++ {
+		if p := g2.Next().Priority; p != spec.Standard {
+			t.Fatalf("zero mix produced %v", p)
+		}
+	}
+}
+
+func TestFlashCrowd(t *testing.T) {
+	g := NewGenerator(Config{Services: services.Standard().Names()}, 3)
+	g.Next() // advance numbering so the burst continues it
+	burst := g.FlashCrowd(50, "svc-3", spec.BestEffort)
+	if len(burst) != 50 {
+		t.Fatalf("burst size %d", len(burst))
+	}
+	ids := map[string]bool{}
+	for i, req := range burst {
+		if err := req.Validate(); err != nil {
+			t.Fatalf("burst request %d invalid: %v", i, err)
+		}
+		if len(req.Substreams) != 1 || len(req.Substreams[0].Services) != 1 ||
+			req.Substreams[0].Services[0] != "svc-3" {
+			t.Fatalf("burst request %d not a single chain on the hot service: %+v", i, req.Substreams)
+		}
+		if req.Priority != spec.BestEffort {
+			t.Fatalf("burst request %d priority %v", i, req.Priority)
+		}
+		if ids[req.ID] {
+			t.Fatalf("duplicate burst ID %s", req.ID)
+		}
+		ids[req.ID] = true
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/transport"
 )
 
@@ -64,6 +65,26 @@ type AdaptationConfig = stream.AdaptationConfig
 // with System.Run for a bounded duration (the event queue never drains).
 func WithAdaptation(cfg AdaptationConfig) Option {
 	return func(o *Options) { o.Adaptation = &cfg }
+}
+
+// TenancyConfig tunes the multi-tenant admission gate: the capacity
+// budget (0 derives it from the topology), the tenant and queue limits,
+// the guaranteed-share floor, and the per-priority fairness weights. The
+// zero value selects the defaults documented on each field.
+type TenancyConfig = tenant.Config
+
+// WithTenancy fronts every node's submission path with one shared
+// admission gate. Submissions then pass admission control: a request the
+// cluster cannot carry without pushing an equal-or-higher-priority tenant
+// below its guaranteed share is queued (and submitted automatically when
+// capacity frees) or rejected with ErrAdmissionRejected — instead of
+// silently degrading the applications already running. Admitted tenants
+// get priority-weighted max-min fair-share rate caps, recomputed on every
+// membership or demand change; under contention the lowest-priority
+// tenants are rate-capped first and preempted back into the queue last.
+// Set Request.Priority to choose an application's class.
+func WithTenancy(cfg TenancyConfig) Option {
+	return func(o *Options) { o.Tenancy = &cfg }
 }
 
 // WithChaos wraps every node's transport endpoint with seeded fault

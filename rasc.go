@@ -36,6 +36,7 @@ import (
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/telemetry"
+	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
 )
 
@@ -45,6 +46,23 @@ type Request = spec.Request
 
 // Substream is one sequential chain of services in a request.
 type Substream = spec.Substream
+
+// Priority is an application's tenancy class, set on Request.Priority: it
+// decides the application's weight in the fair-share allocation and its
+// preemption order under contention (deployments built WithTenancy).
+type Priority = spec.Priority
+
+// The tenancy classes. The zero value is Standard, so requests that never
+// set a priority keep their behavior.
+const (
+	Critical   = spec.Critical
+	Standard   = spec.Standard
+	BestEffort = spec.BestEffort
+)
+
+// ParsePriority converts a flag or config label ("critical", "standard",
+// "best-effort"; empty = Standard) into a Priority.
+func ParsePriority(s string) (Priority, error) { return spec.ParsePriority(s) }
 
 // ServiceDef describes one stream-processing service.
 type ServiceDef = spec.ServiceDef
@@ -91,6 +109,9 @@ type Options struct {
 	// Adaptation, when set, enables the event-driven adaptation control
 	// plane on every node (see WithAdaptation).
 	Adaptation *AdaptationConfig
+	// Tenancy, when set, fronts every node's submission path with one
+	// shared admission gate (see WithTenancy).
+	Tenancy *TenancyConfig
 }
 
 // System is a running simulated RASC deployment.
@@ -137,6 +158,7 @@ func newSystem(opts Options) *System {
 		EnableGossip:     opts.EnableGossip,
 		Chaos:            opts.Chaos,
 		Adaptation:       opts.Adaptation,
+		Tenancy:          opts.Tenancy,
 		// The default 300ms probe timeout sits below the topology's worst
 		// inter-site RTT (~330ms); 500ms keeps healthy members from being
 		// falsely suspected.
@@ -353,6 +375,33 @@ func (s *System) Decisions() []Decision { return s.d.Journal.Decisions() }
 // it over HTTP with live.DecisionsHandler or format it with
 // trace.FormatDecisions.
 func (s *System) Journal() *DecisionJournal { return s.d.Journal }
+
+// TenantStatus is one tenant's admission posture: state (admitted or
+// queued), priority class, demanded rate and current fair-share cap.
+type TenantStatus = tenant.Status
+
+// Tenants lists every application the admission gate tracks — admitted
+// ones (sorted by ID) then the queue in promotion order. The second
+// result is false when the deployment runs without WithTenancy.
+func (s *System) Tenants() ([]TenantStatus, bool) {
+	if s.d.Gate == nil {
+		return nil, false
+	}
+	return s.d.Gate.Snapshot(), true
+}
+
+// TenantTotals is the admission gate's aggregate posture.
+type TenantTotals = tenant.Totals
+
+// TenantGateTotals returns the gate's aggregate posture (admitted and
+// queued counts, budget, demand, preemptions, rejections). The second
+// result is false without WithTenancy.
+func (s *System) TenantGateTotals() (TenantTotals, bool) {
+	if s.d.Gate == nil {
+		return TenantTotals{}, false
+	}
+	return s.d.Gate.Totals(), true
+}
 
 // EnableTracing attaches a shared event buffer of the given capacity to
 // every node's engine and returns it. Use the buffer's Timeline,
