@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/deploy"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/stream"
+)
+
+// dataplaneReport is the BENCH_dataplane.json schema: the same virtual
+// streaming workload simulated on the legacy per-unit data plane and the
+// batched binary one, compared by wall-clock simulation throughput.
+type dataplaneReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// The workload: Substreams independent chains at RateUnitsPerSec each,
+	// streamed for VirtualSeconds of simulated time on Nodes nodes.
+	Nodes           int     `json:"nodes"`
+	Substreams      int     `json:"substreams"`
+	RateUnitsPerSec int     `json:"rate_units_per_sec"`
+	VirtualSeconds  float64 `json:"virtual_seconds"`
+
+	Legacy  dataplaneRun `json:"legacy"`
+	Batched dataplaneRun `json:"batched"`
+	// Speedup is batched wall-clock units/sec over legacy — the headline
+	// number the CI floor checks.
+	Speedup float64 `json:"speedup"`
+}
+
+// dataplaneRun is one configuration's measurement.
+type dataplaneRun struct {
+	BatchUnits int `json:"batch_units"`
+	Shards     int `json:"shards"`
+	// Emitted/Delivered are virtual-workload unit counts; the two runs
+	// must broadly agree or the comparison is not apples to apples.
+	Emitted   int64 `json:"emitted"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	// WallClockSeconds is how long the host took to simulate the run;
+	// UnitsPerSecond is Delivered over that (per deployment; divide by
+	// nodes for the per-node figure).
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	UnitsPerSecond   float64 `json:"units_per_second"`
+}
+
+const (
+	dpNodes      = 12
+	dpSubstreams = 4
+	dpRate       = 400
+	dpVirtual    = 20 * time.Second
+)
+
+// measureDataplane streams the fixed workload under one data-plane config
+// and reports delivered units per wall-clock second of simulation.
+func measureDataplane(dp stream.DataPlaneConfig) (dataplaneRun, error) {
+	s := deploy.NewSystem(deploy.SystemOptions{
+		Nodes: dpNodes,
+		Seed:  1,
+		// High-capacity links: the benchmark measures the data-unit path,
+		// not congestion behavior.
+		Topology: netsim.PlanetLabTopology(netsim.TopologyConfig{
+			Nodes:  dpNodes,
+			MinBps: 2e8,
+			MaxBps: 5e8,
+		}, 1),
+		QueueCapacity: 1024,
+		DataPlane:     dp,
+	})
+	req := spec.Request{ID: "bench-dp", UnitBytes: 1250}
+	for i := 0; i < dpSubstreams; i++ {
+		req.Substreams = append(req.Substreams, spec.Substream{
+			Services: []string{"filter"},
+			Rate:     dpRate,
+		})
+	}
+	var submitErr error
+	done := false
+	s.Engines[0].Submit(req, &core.MinCost{}, 8*time.Second, func(_ *core.ExecutionGraph, err error) {
+		submitErr, done = err, true
+	})
+	for i := 0; i < 400 && !done; i++ {
+		s.Sim.RunUntil(s.Sim.Now() + 100*time.Millisecond)
+	}
+	if !done {
+		return dataplaneRun{}, fmt.Errorf("composition did not complete")
+	}
+	if submitErr != nil {
+		return dataplaneRun{}, fmt.Errorf("compose: %w", submitErr)
+	}
+
+	start := time.Now()
+	s.Sim.RunUntil(s.Sim.Now() + dpVirtual)
+	wall := time.Since(start).Seconds()
+
+	run := dataplaneRun{
+		BatchUnits:       dp.BatchUnits,
+		Shards:           dp.Shards,
+		WallClockSeconds: wall,
+	}
+	for sub := range req.Substreams {
+		var total stream.Throughput
+		for _, e := range s.Engines {
+			total.Accumulate(e.Throughput(req.ID, sub))
+		}
+		run.Emitted += total.EmittedUnits
+		run.Delivered += total.DeliveredUnits
+		run.Dropped += total.DroppedUnits
+	}
+	if wall > 0 {
+		run.UnitsPerSecond = float64(run.Delivered) / wall
+	}
+	if run.Delivered == 0 {
+		return run, fmt.Errorf("workload delivered nothing (emitted %d, dropped %d)", run.Emitted, run.Dropped)
+	}
+	return run, nil
+}
+
+// runDataplaneBenchJSON measures the legacy and batched data planes on the
+// same workload and writes the comparison to path. A minSpeedup > 0 turns
+// the report into a regression gate: the command fails when the batched
+// plane's advantage falls below it.
+func runDataplaneBenchJSON(path string, minSpeedup float64) error {
+	report := dataplaneReport{
+		GoVersion:       runtime.Version(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Nodes:           dpNodes,
+		Substreams:      dpSubstreams,
+		RateUnitsPerSec: dpRate,
+		VirtualSeconds:  dpVirtual.Seconds(),
+	}
+
+	// Warm up both paths once (pool priming, first-use allocations), then
+	// measure. Each measured run rebuilds the deployment from the same
+	// seed, so the virtual workloads are identical.
+	if _, err := measureDataplane(stream.DataPlaneConfig{}); err != nil {
+		return fmt.Errorf("legacy warmup: %w", err)
+	}
+	legacy, err := measureDataplane(stream.DataPlaneConfig{})
+	if err != nil {
+		return fmt.Errorf("legacy: %w", err)
+	}
+	if _, err := measureDataplane(stream.DefaultDataPlane()); err != nil {
+		return fmt.Errorf("batched warmup: %w", err)
+	}
+	batched, err := measureDataplane(stream.DefaultDataPlane())
+	if err != nil {
+		return fmt.Errorf("batched: %w", err)
+	}
+	report.Legacy = legacy
+	report.Batched = batched
+	if legacy.UnitsPerSecond > 0 {
+		report.Speedup = batched.UnitsPerSecond / legacy.UnitsPerSecond
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if minSpeedup > 0 && report.Speedup < minSpeedup {
+		return fmt.Errorf("batched data plane speedup %.2fx below required %.2fx", report.Speedup, minSpeedup)
+	}
+	return nil
+}

@@ -41,6 +41,9 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "sweep worker-pool size (0 = NumCPU, 1 = serial)")
 		jsonPath  = flag.String("json", "", "write compose benchmark results as JSON to this path and exit")
 		admJSON   = flag.String("admission-json", "", "write admission-control benchmark results (decision latency at 1k tenants) as JSON to this path and exit")
+
+		dpJSON    = flag.String("dataplane-json", "", "write the legacy-vs-batched data plane throughput comparison as JSON to this path and exit")
+		dpSpeedup = flag.Float64("dataplane-min-speedup", 0, "with -dataplane-json: fail unless the batched plane is at least this many times faster")
 	)
 	flag.Parse()
 
@@ -50,6 +53,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
+	if *dpJSON != "" {
+		if err := runDataplaneBenchJSON(*dpJSON, *dpSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "dataplane bench json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dpJSON)
 		return
 	}
 	if *admJSON != "" {

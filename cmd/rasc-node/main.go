@@ -64,6 +64,10 @@ func main() {
 		maxTenants   = flag.Int("max-tenants", 0, "bound on concurrently admitted applications (0: unlimited; implies -admission)")
 		priority     = flag.String("priority", "", "tenancy class of the -submit request: critical, standard or best-effort")
 
+		batchUnits = flag.Int("batch-units", 0, "coalesce up to N data units per destination into one binary wire message (0 or 1: legacy per-unit path)")
+		flushIvl   = flag.Duration("flush-interval", 0, "flush an open data-unit batch no later than this after its first unit (0: default 2ms when batching)")
+		shards     = flag.Int("shards", 0, "parallel execution contexts for the data plane (0 or 1: single context)")
+
 		traceEvents = flag.Int("trace-events", 0, "attach a per-unit event buffer of this capacity, served at /debug/rasc/trace (0: disabled)")
 		journalCap  = flag.Int("decision-journal", 0, "adaptation decision journal retention, served at /debug/rasc/decisions (0: default 256)")
 	)
@@ -114,8 +118,13 @@ func main() {
 			Delay:       *chaosDelay,
 			DelayJitter: *chaosJitter,
 		},
-		Adaptation:      adaptation,
-		Tenancy:         tenancy,
+		Adaptation: adaptation,
+		Tenancy:    tenancy,
+		DataPlane: stream.DataPlaneConfig{
+			BatchUnits:    *batchUnits,
+			FlushInterval: *flushIvl,
+			Shards:        *shards,
+		},
 		TraceEvents:     *traceEvents,
 		DecisionJournal: *journalCap,
 	})

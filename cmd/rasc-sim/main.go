@@ -94,6 +94,10 @@ func main() {
 		chaosJitter  = flag.Duration("chaos-delay-jitter", 0, "uniform extra delay in [0, jitter) on top of -chaos-delay")
 		chaosDup     = flag.Float64("chaos-dup", 0, "probability each transport message is duplicated")
 		chaosReorder = flag.Float64("chaos-reorder", 0, "probability each transport message is held back and overtaken")
+
+		batchUnits = flag.Int("batch-units", 0, "coalesce up to N data units per destination into one binary wire message (0 or 1: legacy per-unit path)")
+		flushIvl   = flag.Duration("flush-interval", 0, "flush an open data-unit batch no later than this after its first unit (0: default 2ms when batching)")
+		shards     = flag.Int("shards", 0, "parallel execution contexts per node, keyed by (request, substream) (0 or 1: single context)")
 	)
 	flag.Parse()
 
@@ -129,6 +133,13 @@ func main() {
 			o = append(o, rasc.WithTenancy(rasc.TenancyConfig{
 				CapacityBps: *admissionBps,
 				MaxTenants:  *maxTenants,
+			}))
+		}
+		if *batchUnits > 1 || *shards > 1 {
+			o = append(o, rasc.WithDataPlane(rasc.DataPlaneConfig{
+				BatchUnits:    *batchUnits,
+				FlushInterval: *flushIvl,
+				Shards:        *shards,
 			}))
 		}
 		return o

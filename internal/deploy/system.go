@@ -100,6 +100,11 @@ type SystemOptions struct {
 	// CapacityBps defaults to 90% of the topology's aggregate access
 	// capacity; Clock and Journal are filled in from the deployment.
 	Tenancy *tenant.Config
+
+	// DataPlane tunes every engine's data-unit path (wire batching, flush
+	// deadline, execution shards). The zero value is the legacy per-unit
+	// path, bit-identical to the pre-batching engine.
+	DataPlane stream.DataPlaneConfig
 }
 
 // System is a running simulated deployment: a joined overlay with DHT,
@@ -184,6 +189,7 @@ func NewSystem(opts SystemOptions) *System {
 			TimelyFactor:     opts.TimelyFactor,
 			StatsMaxAge:      opts.StatsMaxAge,
 			KeepDelaySamples: opts.KeepDelaySamples,
+			DataPlane:        opts.DataPlane,
 		}
 		engRng := rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(i)))
 		eng := stream.NewEngine(node, c.Clock, dir, opts.Catalog, engRng, cfg)

@@ -47,6 +47,11 @@ func (n *Node) ServeAdmin(addr string) (*AdminServer, error) {
 		return snap
 	}))
 	mux.Handle("/debug/rasc/trace", TraceHandler(func() *trace.Buffer { return n.Trace }))
+	mux.Handle("/debug/rasc/dataplane", DataPlaneHandler(func() stream.DataPlaneStatus {
+		var st stream.DataPlaneStatus
+		n.DoSync(func() { st = n.Engine.DataPlaneStatus() })
+		return st
+	}))
 	mux.Handle("/debug/rasc/tenants", TenantsHandler(func() *tenant.Gate { return n.Gate }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

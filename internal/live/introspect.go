@@ -104,6 +104,27 @@ func TraceHandler(buffer func() *trace.Buffer) http.Handler {
 	})
 }
 
+// DataPlaneHandler serves the engine's data-plane posture — effective
+// batching/sharding configuration, per-shard queue depths, open batch
+// state, drop counters and per-substream throughput snapshots — as
+// indented JSON, optionally filtered to one request with ?req=. status
+// runs per request; wire it through the node's actor loop.
+func DataPlaneHandler(status func() stream.DataPlaneStatus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := status()
+		if req := r.URL.Query().Get("req"); req != "" {
+			kept := st.Throughputs[:0]
+			for _, t := range st.Throughputs {
+				if t.Req == req {
+					kept = append(kept, t)
+				}
+			}
+			st.Throughputs = kept
+		}
+		writeJSON(w, st)
+	})
+}
+
 // tenantsResponse is the JSON body of /debug/rasc/tenants.
 type tenantsResponse struct {
 	// Totals is the gate's aggregate posture; Tenants every tracked

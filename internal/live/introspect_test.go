@@ -230,6 +230,44 @@ func TestTenantsHandler(t *testing.T) {
 	}
 }
 
+func TestDataPlaneHandler(t *testing.T) {
+	st := stream.DataPlaneStatus{
+		Config:         stream.DataPlaneConfig{BatchUnits: 32, FlushInterval: 2 * time.Millisecond, Shards: 4},
+		ShardQueueLens: []int{3, 0, 1, 0},
+		OpenBatches:    2,
+		OpenBatchUnits: 9,
+		DropsQueueFull: 4,
+		DropsUplink:    1,
+		Throughputs: []stream.Throughput{
+			{Req: "chain", Substream: 0, EmittedUnits: 100, EmittedBytes: 125000, ForwardedUnits: 95, ForwardedBytes: 118750, DroppedUnits: 5, DroppedBytes: 6250, DeliveredUnits: 95, DeliveredBytes: 118750},
+			{Req: "mesh", Substream: 0, ForwardedUnits: 40, ForwardedBytes: 50000},
+		},
+		SchedPolicyName: "llf",
+	}
+	srv := httptest.NewServer(DataPlaneHandler(func() stream.DataPlaneStatus { return st }))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("dataplane = %d", code)
+	}
+	checkGolden(t, "dataplane.golden", body)
+
+	// The req filter keeps the selected application's throughputs only;
+	// the engine-wide posture is unchanged.
+	_, body = get(t, srv, "/?req=mesh")
+	var filtered stream.DataPlaneStatus
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatalf("filtered body %q: %v", body, err)
+	}
+	if len(filtered.Throughputs) != 1 || filtered.Throughputs[0].Req != "mesh" {
+		t.Fatalf("filtered throughputs = %+v", filtered.Throughputs)
+	}
+	if filtered.OpenBatches != 2 || filtered.DropsQueueFull != 4 {
+		t.Fatalf("filtered posture = %+v", filtered)
+	}
+}
+
 // TestAdminIntrospectionEndpoints checks a live node serves the decision
 // journal, composition dump and the healthz control block out of the box,
 // and reports unit tracing as disabled when no buffer was configured.
@@ -258,6 +296,17 @@ func TestAdminIntrospectionEndpoints(t *testing.T) {
 
 	if code, _ := adminGet(t, adm, "/debug/rasc/composition"); code != http.StatusOK {
 		t.Fatalf("/debug/rasc/composition = %d", code)
+	}
+	code, body = adminGet(t, adm, "/debug/rasc/dataplane")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/rasc/dataplane = %d, body %s", code, body)
+	}
+	var dp stream.DataPlaneStatus
+	if err := json.Unmarshal([]byte(body), &dp); err != nil {
+		t.Fatalf("dataplane body %q: %v", body, err)
+	}
+	if dp.Config.BatchUnits != 1 || dp.Config.Shards != 1 || len(dp.ShardQueueLens) != 1 {
+		t.Fatalf("fresh node data plane = %+v", dp)
 	}
 	if code, _ := adminGet(t, adm, "/debug/rasc/trace?req=x"); code != http.StatusServiceUnavailable {
 		t.Fatalf("/debug/rasc/trace without buffer = %d, want 503", code)

@@ -92,6 +92,10 @@ type Config struct {
 	// and Journal are filled in from the node. Served by
 	// /debug/rasc/tenants.
 	Tenancy *tenant.Config
+	// DataPlane tunes the engine's data-unit path (wire batching, flush
+	// deadline, execution shards). The zero value is the legacy per-unit
+	// path. Served by /debug/rasc/dataplane.
+	DataPlane stream.DataPlaneConfig
 	// TraceEvents, when positive, attaches a per-unit event buffer of
 	// that capacity to the engine, served by /debug/rasc/trace.
 	TraceEvents int
@@ -263,8 +267,9 @@ func Start(cfg Config) (*Node, error) {
 		n.Store.TTL = cfg.RecordTTL
 		n.Dir = discovery.New(n.Overlay, n.Store, clk)
 		n.Engine = stream.NewEngine(n.Overlay, clk, n.Dir, cfg.Catalog, newLiveRand(name), stream.Config{
-			InBps:  cfg.InBps,
-			OutBps: cfg.OutBps,
+			InBps:     cfg.InBps,
+			OutBps:    cfg.OutBps,
+			DataPlane: cfg.DataPlane,
 		})
 		capJ := cfg.DecisionJournal
 		if capJ <= 0 {

@@ -104,6 +104,7 @@ type NodeMonitor struct {
 	outMeter   *ByteRateMeter
 	busyMeter  *BusyMeter
 	speed      float64
+	cpus       int
 	nodeDrops  *RatioWindow
 	components map[string]*componentMonitor
 	queueLen   func() int
@@ -129,6 +130,16 @@ func NewNodeMonitor(inBpsCap, outBpsCap float64, h int) *NodeMonitor {
 
 // SetCPU declares the node's CPU speed factor, enabling CPU reporting.
 func (m *NodeMonitor) SetCPU(speedFactor float64) { m.speed = speedFactor }
+
+// SetCPUCount declares how many execution contexts feed ObserveBusy. The
+// busy meter accumulates the contexts' busy time jointly, so the reported
+// CPUFraction is normalized by n to stay in [0, 1]. Engines only call this
+// when running more than one data-plane shard; the default divisor is 1.
+func (m *NodeMonitor) SetCPUCount(n int) {
+	if n >= 1 {
+		m.cpus = n
+	}
+}
 
 // ObserveBusy records a completed CPU busy period of length d ending now.
 func (m *NodeMonitor) ObserveBusy(now, d time.Duration) { m.busyMeter.Observe(now, d) }
@@ -220,6 +231,9 @@ func (m *NodeMonitor) Report(now time.Duration) Report {
 		SpeedFactor: m.speed,
 		CPUFraction: m.busyMeter.Fraction(now),
 		Components:  make(map[string]ComponentStats, len(m.components)),
+	}
+	if m.cpus > 1 {
+		r.CPUFraction /= float64(m.cpus)
 	}
 	if m.queueLen != nil {
 		r.QueueLen = m.queueLen()

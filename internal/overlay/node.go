@@ -259,6 +259,10 @@ func (n *Node) RegisterDropObserver(app string, h DeliverFunc) {
 }
 
 func (n *Node) onDropped(from transport.Addr, msg transport.Message) {
+	if msg.Type == msgTypeData {
+		n.onDataDropped(msg)
+		return
+	}
 	if msg.Type != msgType {
 		return
 	}
@@ -477,6 +481,10 @@ func (n *Node) deliverLocal(env envelope) {
 }
 
 func (n *Node) onMessage(from transport.Addr, msg transport.Message) {
+	if msg.Type == msgTypeData {
+		n.onDataMessage(msg)
+		return
+	}
 	if msg.Type != msgType {
 		return
 	}

@@ -255,6 +255,25 @@ func (q *fifo) Next(now time.Duration) (*Unit, []*Unit) {
 	return nil, dropped
 }
 
+// DrainN pops up to max runnable units from p at time now, appending them
+// to dst and returning it. Units dropped for negative laxity are handed to
+// onDrop in the order they are encountered, so the drop/run interleaving
+// is exactly that of repeated Next calls. The batched data plane drains a
+// whole processing span with one call instead of one Next per unit.
+func DrainN(p Policy, now time.Duration, max int, dst []*Unit, onDrop func(*Unit)) []*Unit {
+	for len(dst) < max {
+		u, dropped := p.Next(now)
+		for _, d := range dropped {
+			onDrop(d)
+		}
+		if u == nil {
+			break
+		}
+		dst = append(dst, u)
+	}
+	return dst
+}
+
 // NewPolicy constructs a policy by name ("llf", "edf" or "fifo"); unknown
 // names fall back to LLF.
 func NewPolicy(name string, capacity int) Policy {

@@ -1,0 +1,353 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// testClock is a manually advanced clock.Clock for exercising the batcher's
+// flush-deadline timers without a simulator.
+type testClock struct {
+	now    time.Duration
+	timers []*testTimer
+}
+
+type testTimer struct {
+	at      time.Duration
+	fn      func()
+	stopped bool
+}
+
+func (c *testClock) Now() time.Duration { return c.now }
+
+func (c *testClock) After(d time.Duration, fn func()) (cancel func()) {
+	t := &testTimer{at: c.now + d, fn: fn}
+	c.timers = append(c.timers, t)
+	return func() { t.stopped = true }
+}
+
+// advance moves the clock forward by d, firing due timers in time order.
+func (c *testClock) advance(d time.Duration) {
+	target := c.now + d
+	for {
+		best := -1
+		for i, t := range c.timers {
+			if t.stopped || t.at > target {
+				continue
+			}
+			if best < 0 || t.at < c.timers[best].at {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := c.timers[best]
+		t.stopped = true
+		c.now = t.at
+		t.fn()
+	}
+	c.now = target
+}
+
+// stubEndpoint is a transport.Endpoint that records accepted messages and
+// can be told to refuse sends, mimicking a saturated uplink.
+type stubEndpoint struct {
+	addr transport.Addr
+	fail error
+	sent []transport.Message
+}
+
+func (s *stubEndpoint) Addr() transport.Addr { return s.addr }
+
+func (s *stubEndpoint) Send(_ transport.Addr, msg transport.Message) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	s.sent = append(s.sent, msg)
+	return nil
+}
+
+func (s *stubEndpoint) SetHandler(transport.Handler)     {}
+func (s *stubEndpoint) SetDropHandler(transport.Handler) {}
+func (s *stubEndpoint) Close() error                     { return nil }
+
+func newStubEngine(clk *testClock, ep *stubEndpoint, dp DataPlaneConfig) *Engine {
+	node := overlay.NewNode(overlay.HashID("stub"), ep, clk)
+	return NewEngine(node, clk, nil, nil, rand.New(rand.NewSource(1)), Config{
+		InBps:     1e9,
+		OutBps:    1e9,
+		DataPlane: dp,
+	})
+}
+
+var stubPeer = overlay.NodeInfo{ID: overlay.HashID("peer"), Addr: "peer"}
+
+// Regression for the uplink-skew bug: a unit the transport refuses must not
+// charge the send meter — OutBpsUsed previously inflated exactly when the
+// link was congested, misleading the composer's availability vector.
+func TestSendUnitChargesOnlyTransportedBytes(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub", fail: transport.ErrBacklog}
+	e := newStubEngine(clk, ep, DataPlaneConfig{})
+
+	m := dataMsg{Req: "app", Substream: 0, Stage: 1, Seq: 1, Size: 1250}
+	if err := e.sendUnit(stubPeer, m); err == nil {
+		t.Fatal("sendUnit must surface the transport error")
+	}
+	clk.now += time.Second
+	if err := e.sendUnit(stubPeer, m); err == nil {
+		t.Fatal("sendUnit must surface the transport error")
+	}
+	if got := e.Monitor.Report(clk.now).OutBpsUsed; got != 0 {
+		t.Fatalf("OutBpsUsed = %v after refused sends, want 0", got)
+	}
+
+	ep.fail = nil
+	if err := e.sendUnit(stubPeer, m); err != nil {
+		t.Fatalf("sendUnit: %v", err)
+	}
+	clk.now += time.Second
+	if err := e.sendUnit(stubPeer, m); err != nil {
+		t.Fatalf("sendUnit: %v", err)
+	}
+	if got := e.Monitor.Report(clk.now).OutBpsUsed; got <= 0 {
+		t.Fatalf("OutBpsUsed = %v after accepted sends, want > 0", got)
+	}
+	if len(ep.sent) != 2 {
+		t.Fatalf("transport saw %d messages, want 2", len(ep.sent))
+	}
+}
+
+func TestUnitCodecRoundTrip(t *testing.T) {
+	units := []pendingUnit{
+		{msg: dataMsg{Req: "a", Substream: 0, Stage: 0, Seq: 0, Created: 0, Size: 0}},
+		{msg: dataMsg{Req: "app-7", Substream: 3, Stage: 2, Seq: 1 << 40, Created: 90 * time.Minute, Size: 64 << 10}},
+		{msg: dataMsg{Req: "", Substream: 1, Stage: 5, Seq: 9, Created: time.Microsecond, Size: 1250}},
+	}
+	b := appendBatchUnits(nil, units)
+	wantLen := 2
+	for i := range units {
+		wantLen += encodedUnitSize(&units[i].msg)
+	}
+	if len(b) != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", len(b), wantLen)
+	}
+	got := decodeBatchUnits(b, nil)
+	if len(got) != len(units) {
+		t.Fatalf("decoded %d units, want %d", len(got), len(units))
+	}
+	for i := range units {
+		if got[i] != units[i].msg {
+			t.Fatalf("unit %d = %+v, want %+v", i, got[i], units[i].msg)
+		}
+	}
+}
+
+// Every truncation of a valid batch must be rejected, never partially
+// decoded: a batch is all-or-nothing on the wire.
+func TestDecodeBatchRejectsTruncation(t *testing.T) {
+	units := []pendingUnit{
+		{msg: dataMsg{Req: "req-1", Seq: 1, Size: 100}},
+		{msg: dataMsg{Req: "req-2", Seq: 2, Size: 200}},
+	}
+	b := appendBatchUnits(nil, units)
+	for cut := 0; cut < len(b); cut++ {
+		if got := decodeBatchUnits(b[:cut], nil); got != nil {
+			t.Fatalf("decode of %d/%d bytes = %d units, want rejection", cut, len(b), len(got))
+		}
+	}
+	if decodeBatchUnits(nil, nil) != nil {
+		t.Fatal("decode of empty buffer must be rejected")
+	}
+}
+
+func TestBatchFlushOnFull(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub"}
+	e := newStubEngine(clk, ep, DataPlaneConfig{BatchUnits: 4, Shards: 1})
+	flow := e.flowFor("app", 0)
+
+	for seq := int64(0); seq < 4; seq++ {
+		e.batchUnit(stubPeer, pendingUnit{
+			msg:  dataMsg{Req: "app", Stage: 1, Seq: seq, Size: 1000},
+			key:  "app/0/0",
+			flow: flow,
+		})
+	}
+	if len(ep.sent) != 1 {
+		t.Fatalf("transport saw %d messages after a full batch, want 1", len(ep.sent))
+	}
+	if len(e.batches) != 0 {
+		t.Fatalf("%d open batches after flush, want 0", len(e.batches))
+	}
+	units := decodeWireBatch(t, ep.sent[0])
+	if len(units) != 4 {
+		t.Fatalf("wire batch carries %d units, want 4", len(units))
+	}
+	for i, u := range units {
+		if u.Seq != int64(i) {
+			t.Fatalf("unit %d has seq %d, want emission order preserved", i, u.Seq)
+		}
+	}
+	// The padded wire size must bill the simulated payload: 4×1000 bytes.
+	env := 48 + len(ep.sent[0].Type)
+	if got := ep.sent[0].WireSize() - env; got < 4000 {
+		t.Fatalf("batch wire size %d below simulated payload 4000", got)
+	}
+	if flow.forwardedUnits != 4 || flow.forwardedBytes != 4000 {
+		t.Fatalf("flow forwarded %d units / %d bytes, want 4 / 4000",
+			flow.forwardedUnits, flow.forwardedBytes)
+	}
+}
+
+func TestBatchFlushOnDeadline(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub"}
+	e := newStubEngine(clk, ep, DataPlaneConfig{BatchUnits: 100, FlushInterval: 2 * time.Millisecond, Shards: 1})
+	flow := e.flowFor("app", 0)
+
+	for seq := int64(0); seq < 2; seq++ {
+		e.batchUnit(stubPeer, pendingUnit{
+			msg:  dataMsg{Req: "app", Stage: 1, Seq: seq, Size: 500},
+			flow: flow,
+		})
+	}
+	if len(ep.sent) != 0 {
+		t.Fatal("under-full batch flushed before its deadline")
+	}
+	clk.advance(2 * time.Millisecond)
+	if len(ep.sent) != 1 {
+		t.Fatalf("transport saw %d messages after the flush deadline, want 1", len(ep.sent))
+	}
+	if units := decodeWireBatch(t, ep.sent[0]); len(units) != 2 {
+		t.Fatalf("deadline flush carried %d units, want 2", len(units))
+	}
+	// The deadline timer is consumed: nothing further fires.
+	clk.advance(time.Second)
+	if len(ep.sent) != 1 {
+		t.Fatalf("transport saw %d messages after idle time, want 1", len(ep.sent))
+	}
+}
+
+func TestFlushAllCancelsDeadline(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub"}
+	e := newStubEngine(clk, ep, DataPlaneConfig{BatchUnits: 100, FlushInterval: 2 * time.Millisecond, Shards: 1})
+
+	e.batchUnit(stubPeer, pendingUnit{msg: dataMsg{Req: "app", Size: 700}, flow: e.flowFor("app", 0)})
+	e.flushAll()
+	if len(ep.sent) != 1 {
+		t.Fatalf("transport saw %d messages after flushAll, want 1", len(ep.sent))
+	}
+	clk.advance(time.Second)
+	if len(ep.sent) != 1 {
+		t.Fatal("cancelled deadline timer still flushed")
+	}
+}
+
+// A refused batch charges every unit as an uplink drop and leaves the send
+// meter untouched — the batched twin of the sendUnit regression above.
+func TestBatchSettlesRefusedSends(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub", fail: transport.ErrBacklog}
+	e := newStubEngine(clk, ep, DataPlaneConfig{BatchUnits: 2, Shards: 1})
+	flow := e.flowFor("app", 0)
+
+	// One forwarded unit and one source emission in the same batch.
+	e.batchUnit(stubPeer, pendingUnit{
+		msg: dataMsg{Req: "app", Stage: 1, Seq: 1, Size: 1000}, key: "app/0/0", flow: flow,
+	})
+	e.batchUnit(stubPeer, pendingUnit{
+		msg: dataMsg{Req: "app", Stage: 0, Seq: 2, Size: 1000}, fromStage: -1,
+		key: "source:app/0", service: "source", isSource: true, flow: flow,
+	})
+	if e.DropsUplink != 1 {
+		t.Fatalf("DropsUplink = %d, want 1 (source drops are monitor-only)", e.DropsUplink)
+	}
+	if flow.droppedUnits != 2 || flow.droppedBytes != 2000 {
+		t.Fatalf("flow dropped %d units / %d bytes, want 2 / 2000", flow.droppedUnits, flow.droppedBytes)
+	}
+	clk.now += time.Second
+	if got := e.Monitor.Report(clk.now).OutBpsUsed; got != 0 {
+		t.Fatalf("OutBpsUsed = %v after refused batch, want 0", got)
+	}
+}
+
+// Oversized request IDs cannot be framed with a u8 length; they must fall
+// back to a legacy single-unit message instead of corrupting the batch.
+func TestBatchLongRequestIDFallsBack(t *testing.T) {
+	clk := &testClock{}
+	ep := &stubEndpoint{addr: "stub"}
+	e := newStubEngine(clk, ep, DataPlaneConfig{BatchUnits: 8, Shards: 1})
+
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	e.batchUnit(stubPeer, pendingUnit{
+		msg: dataMsg{Req: string(long), Size: 1000}, key: "k", flow: e.flowFor(string(long), 0),
+	})
+	if len(e.batches) != 0 {
+		t.Fatal("oversized request ID was admitted into a batch")
+	}
+	if len(ep.sent) != 1 {
+		t.Fatalf("transport saw %d messages, want 1 legacy fallback", len(ep.sent))
+	}
+}
+
+func TestUnitPoolClearsReleasedUnits(t *testing.T) {
+	u, task := getUnit()
+	task.msg = dataMsg{Req: "app", Seq: 9, Size: 1}
+	u.ComponentKey = "app/0/0"
+	putUnit(u)
+	u2, task2 := getUnit()
+	if task2.comp != nil || task2.msg != (dataMsg{}) || u2.ComponentKey != "" {
+		t.Fatalf("pooled unit retains state: %+v / %+v", u2, task2)
+	}
+	putUnit(u2)
+}
+
+func TestShardForPinsSubstreams(t *testing.T) {
+	clk := &testClock{}
+	e := newStubEngine(clk, &stubEndpoint{addr: "stub"}, DataPlaneConfig{BatchUnits: 1, Shards: 4})
+	if len(e.shards) != 4 {
+		t.Fatalf("engine has %d shards, want 4", len(e.shards))
+	}
+	seen := map[*engineShard]bool{}
+	for sub := 0; sub < 64; sub++ {
+		sh := e.shardFor("app", sub)
+		if sh != e.shardFor("app", sub) {
+			t.Fatalf("substream %d not pinned to one shard", sub)
+		}
+		seen[sh] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 substreams all hashed to one shard; distribution broken")
+	}
+}
+
+// decodeWireBatch strips the overlay's binary data envelope
+// (appLen app addrLen addr srcID body) and decodes the batch payload.
+func decodeWireBatch(t *testing.T, msg transport.Message) []dataMsg {
+	t.Helper()
+	b := msg.Payload
+	appLen := int(b[0])
+	app := string(b[1 : 1+appLen])
+	b = b[1+appLen:]
+	addrLen := int(b[0])
+	b = b[1+addrLen:]
+	b = b[overlay.IDBytes:]
+	if app != appDataBatch {
+		t.Fatalf("wire app = %q, want %q", app, appDataBatch)
+	}
+	units := decodeBatchUnits(b, nil)
+	if units == nil {
+		t.Fatal("wire batch payload failed to decode")
+	}
+	return units
+}

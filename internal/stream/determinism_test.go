@@ -1,0 +1,158 @@
+package stream_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/deploy"
+	"rasc.dev/rasc/internal/netsim"
+	"rasc.dev/rasc/internal/stream"
+	"rasc.dev/rasc/internal/trace"
+)
+
+// The data-plane refactor (binary codec, batching, sharding) must leave the
+// legacy path — BatchUnits=1, Shards=1, the zero DataPlaneConfig — bit-
+// identical: same delivery order, same timestamps, same drop accounting.
+// These digests were captured on the pre-batching engine and pin that
+// behavior. If one changes, the legacy data path changed; that is a
+// regression, not a golden to refresh.
+const (
+	goldenSmoothDigest    = "150cb600d3e9bf1b"
+	goldenCongestedDigest = "8f344a8bc414479b"
+)
+
+// dataPlaneDigest runs a fixed scenario and folds every per-unit trace
+// event plus the final source/sink/drop counters into one FNV-1a digest.
+// Monitor byte meters are deliberately excluded: the ObserveSend-after-send
+// bugfix legitimately changes them when uplinks drop.
+func dataPlaneDigest(t *testing.T, opts deploy.SystemOptions, reqID string, rate int, runFor time.Duration, chain ...string) string {
+	t.Helper()
+	s := deploy.NewSystem(opts)
+	buf := trace.NewBuffer(1 << 20)
+	for _, e := range s.Engines {
+		e.SetTracer(buf)
+	}
+	req := simpleRequest(reqID, rate, chain...)
+	submit(t, s, 0, req, &core.MinCost{})
+	s.Sim.RunUntil(s.Sim.Now() + runFor)
+
+	h := fnv.New64a()
+	for _, ev := range buf.Events() {
+		fmt.Fprintf(h, "%d|%d|%s|%s|%d|%d|%d|%s\n",
+			ev.At, ev.Kind, ev.Node, ev.Req, ev.Substream, ev.Stage, ev.Seq, ev.Note)
+	}
+	for i, e := range s.Engines {
+		fmt.Fprintf(h, "eng%d|%d|%d|%d|%d\n",
+			i, e.DropsQueueFull, e.DropsLaxity, e.DropsUplink, e.DropsDownlink)
+	}
+	e0 := s.Engines[0]
+	fmt.Fprintf(h, "src|%d|%d\n", e0.EmittedUnits(reqID, 0), e0.EmittedBytes(reqID, 0))
+	sink := e0.Sink(reqID, 0)
+	if sink == nil {
+		t.Fatalf("no sink for %s", reqID)
+	}
+	if sink.Received == 0 {
+		t.Fatalf("scenario delivered nothing for %s", reqID)
+	}
+	fmt.Fprintf(h, "sink|%d|%d|%d|%d|%d|%d\n",
+		sink.Received, sink.OutOfOrder, sink.Timely,
+		int64(sink.TotalDelay), int64(sink.TotalJitter), sink.Stalls)
+	t.Logf("%s: emitted=%d received=%d drops=%d/%d/%d/%d",
+		reqID, e0.EmittedUnits(reqID, 0), sink.Received,
+		totalDrops(s, func(e engineDrops) int64 { return e.qf }),
+		totalDrops(s, func(e engineDrops) int64 { return e.lax }),
+		totalDrops(s, func(e engineDrops) int64 { return e.up }),
+		totalDrops(s, func(e engineDrops) int64 { return e.down }))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+type engineDrops struct{ qf, lax, up, down int64 }
+
+func totalDrops(s *deploy.System, pick func(engineDrops) int64) int64 {
+	var sum int64
+	for _, e := range s.Engines {
+		sum += pick(engineDrops{e.DropsQueueFull, e.DropsLaxity, e.DropsUplink, e.DropsDownlink})
+	}
+	return sum
+}
+
+// smoothOpts is an uncongested 12-node deployment: every unit flows
+// source → components → sink without drops, pinning ordering and timing.
+func smoothOpts() deploy.SystemOptions {
+	return deploy.SystemOptions{Nodes: 12, Seed: 1}
+}
+
+// congestedOpts forces link and scheduler pressure (background cross
+// traffic over bounded link buffers, a tiny ready queue, jittered
+// processing) so the digest also pins drop accounting order.
+func congestedOpts() deploy.SystemOptions {
+	return deploy.SystemOptions{
+		Nodes: 12,
+		Seed:  5,
+		Topology: netsim.PlanetLabTopology(netsim.TopologyConfig{
+			Nodes:  12,
+			MinBps: 1.5e5,
+			MaxBps: 1.2e6,
+		}, 5),
+		QueueCapacity:   2,
+		ProcJitter:      0.3,
+		MaxLinkBacklog:  50 * time.Millisecond,
+		BackgroundFlows: 24,
+		BackgroundBps:   2e5,
+	}
+}
+
+// TestLegacyDataPlaneBitIdentical pins the zero-config data plane to the
+// pre-batching engine's exact event stream on a drop-free run.
+func TestLegacyDataPlaneBitIdentical(t *testing.T) {
+	got := dataPlaneDigest(t, smoothOpts(), "det-a", 10, 10*time.Second, "filter", "transcode")
+	if got != goldenSmoothDigest {
+		t.Fatalf("legacy data plane diverged on the smooth scenario:\n got %s\nwant %s", got, goldenSmoothDigest)
+	}
+}
+
+// TestLegacyDataPlaneBitIdenticalUnderCongestion pins the zero-config data
+// plane under link congestion, covering uplink and downlink drop
+// accounting order.
+func TestLegacyDataPlaneBitIdenticalUnderCongestion(t *testing.T) {
+	got := dataPlaneDigest(t, congestedOpts(), "det-b", 60, 12*time.Second, "transcode", "analyze")
+	if got != goldenCongestedDigest {
+		t.Fatalf("legacy data plane diverged under congestion:\n got %s\nwant %s", got, goldenCongestedDigest)
+	}
+}
+
+// TestExplicitLegacyConfigBitIdentical pins that an explicit
+// DataPlaneConfig{BatchUnits: 1, Shards: 1} is the same engine as the zero
+// value — the contract the facade documents for WithDataPlane.
+func TestExplicitLegacyConfigBitIdentical(t *testing.T) {
+	opts := smoothOpts()
+	opts.DataPlane = stream.DataPlaneConfig{BatchUnits: 1, Shards: 1}
+	got := dataPlaneDigest(t, opts, "det-a", 10, 10*time.Second, "filter", "transcode")
+	if got != goldenSmoothDigest {
+		t.Fatalf("explicit BatchUnits=1/Shards=1 diverged from the legacy engine:\n got %s\nwant %s", got, goldenSmoothDigest)
+	}
+
+	opts = congestedOpts()
+	opts.DataPlane = stream.DataPlaneConfig{BatchUnits: 1, Shards: 1}
+	got = dataPlaneDigest(t, opts, "det-b", 60, 12*time.Second, "transcode", "analyze")
+	if got != goldenCongestedDigest {
+		t.Fatalf("explicit BatchUnits=1/Shards=1 diverged under congestion:\n got %s\nwant %s", got, goldenCongestedDigest)
+	}
+}
+
+// TestBatchedDataPlaneDeterministic does not pin batched mode to the legacy
+// digest (batching legitimately reorders wire flushes) but requires the
+// batched engine itself to be deterministic: two identical runs must
+// produce identical digests.
+func TestBatchedDataPlaneDeterministic(t *testing.T) {
+	opts := smoothOpts()
+	opts.DataPlane = stream.DefaultDataPlane()
+	a := dataPlaneDigest(t, opts, "det-a", 10, 10*time.Second, "filter", "transcode")
+	b := dataPlaneDigest(t, opts, "det-a", 10, 10*time.Second, "filter", "transcode")
+	if a != b {
+		t.Fatalf("batched data plane is not deterministic: %s vs %s", a, b)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
+	"rasc.dev/rasc/internal/transport"
 )
 
 // Config parameterizes an Engine.
@@ -47,6 +48,10 @@ type Config struct {
 	// in the sink for percentile analysis (costs memory proportional to
 	// units delivered).
 	KeepDelaySamples bool
+	// DataPlane tunes the data-unit path (batching, flush deadline,
+	// execution sharding). The zero value keeps the legacy per-unit
+	// path, bit-identical to the pre-batching engine.
+	DataPlane DataPlaneConfig
 }
 
 func (c *Config) defaults() {
@@ -59,6 +64,7 @@ func (c *Config) defaults() {
 	if c.TimelyFactor <= 0 {
 		c.TimelyFactor = 1
 	}
+	c.DataPlane.normalize()
 }
 
 // component is a running instance of a service on this engine.
@@ -67,6 +73,7 @@ type component struct {
 	msg       instantiateMsg
 	split     *splitter
 	outCredit float64
+	flow      *flowCounters
 }
 
 // unitTask is the payload carried through the scheduler queue.
@@ -87,8 +94,14 @@ type Engine struct {
 
 	Monitor *monitor.NodeMonitor
 	Dir     *discovery.Directory
-	queue   sched.Policy
-	busy    bool
+
+	// shards are the execution contexts (ready queue + simulated core);
+	// legacy single-context mode is exactly one shard. batches holds the
+	// open per-destination unit batches of the batched wire path, and
+	// flows the per-substream throughput counters behind Throughput().
+	shards  []*engineShard
+	batches map[transport.Addr]*unitBatch
+	flows   map[string]*flowCounters
 
 	comps   map[string]*component
 	sinks   map[string]*Sink
@@ -157,7 +170,9 @@ func NewEngine(node *overlay.Node, clk clock.Clock, dir *discovery.Directory, ca
 		cfg:            cfg,
 		Monitor:        monitor.NewNodeMonitor(cfg.InBps, cfg.OutBps, cfg.Window),
 		Dir:            dir,
-		queue:          sched.NewPolicy(cfg.SchedPolicy, cfg.QueueCapacity),
+		shards:         make([]*engineShard, cfg.DataPlane.Shards),
+		batches:        make(map[transport.Addr]*unitBatch),
+		flows:          make(map[string]*flowCounters),
 		comps:          make(map[string]*component),
 		sinks:          make(map[string]*Sink),
 		sources:        make(map[string]*source),
@@ -166,10 +181,20 @@ func NewEngine(node *overlay.Node, clk clock.Clock, dir *discovery.Directory, ca
 		availDown:      make(map[string]time.Duration),
 		Catalog:        catalog,
 	}
-	e.Monitor.SetQueueLenFunc(e.queue.Len)
+	for i := range e.shards {
+		e.shards[i] = &engineShard{queue: sched.NewPolicy(cfg.SchedPolicy, cfg.QueueCapacity)}
+	}
+	e.Monitor.SetQueueLenFunc(e.queueLen)
 	e.Monitor.SetCPU(cfg.SpeedFactor)
+	if cfg.DataPlane.Shards > 1 {
+		// The busy meter accumulates across all shards; report utilization
+		// relative to the shard count so CPUFraction stays in [0,1].
+		e.Monitor.SetCPUCount(cfg.DataPlane.Shards)
+	}
 	node.Register(appData, e.onData)
 	node.RegisterDropObserver(appData, e.onDataDropped)
+	node.Register(appDataBatch, e.onDataBatch)
+	node.RegisterDropObserver(appDataBatch, e.onDataBatchDropped)
 	node.RegisterRequest(appInstantiate, e.onInstantiate)
 	node.RegisterRequest(appTeardown, e.onTeardown)
 	node.RegisterRequest(appStats, e.onStats)
@@ -255,18 +280,27 @@ func (e *Engine) SetStatsProvider(fn func(overlay.ID) (monitor.Report, bool)) {
 
 // Sink returns the sink for a request substream hosted at this engine, or
 // nil.
+//
+// Deprecated: use Throughput, which carries delivered units and bytes in
+// one snapshot alongside emissions, forwards and drops. Sink remains for
+// callers that need the full latency/jitter detail.
 func (e *Engine) Sink(req string, substream int) *Sink {
 	return e.sinks[sinkKey(req, substream)]
 }
 
 // EmittedUnits returns how many data units the local source for a request
-// substream has sent (0 when this engine hosts no such source).
+// substream has sent (0 when this engine hosts no such source, including
+// after StopRequest removed it).
+//
+// Deprecated: use Throughput, whose counters survive source teardown.
 func (e *Engine) EmittedUnits(req string, substream int) int64 {
 	return emittedOf(e.sources[sinkKey(req, substream)])
 }
 
 // EmittedBytes returns the total bytes the local source for a request
 // substream has sent.
+//
+// Deprecated: use Throughput, whose counters survive source teardown.
 func (e *Engine) EmittedBytes(req string, substream int) int64 {
 	if s := e.sources[sinkKey(req, substream)]; s != nil {
 		return s.EmittedBytes
@@ -305,7 +339,12 @@ func (e *Engine) onInstantiate(_ overlay.NodeInfo, body []byte, respond func([]b
 		return
 	}
 	key := componentKey(m.Req, m.Substream, m.Stage)
-	e.comps[key] = &component{key: key, msg: m, split: newSplitter(m.Outs)}
+	e.comps[key] = &component{
+		key:   key,
+		msg:   m,
+		split: newSplitter(m.Outs),
+		flow:  e.flowFor(m.Req, m.Substream),
+	}
 	respond([]byte("ok"), "")
 }
 
@@ -321,20 +360,29 @@ func (e *Engine) onTeardown(_ overlay.NodeInfo, body []byte, respond func([]byte
 }
 
 // StopRequest stops local sources and removes local components of req.
-// Sinks are kept so their statistics remain readable.
+// Sinks (and flow counters) are kept so their statistics remain readable.
 func (e *Engine) StopRequest(req string) {
-	for key, src := range e.sources {
-		if src.req == req {
-			src.stopped = true
-			delete(e.sources, key)
-		}
-	}
+	e.StopSources(req)
 	for key, c := range e.comps {
 		if c.msg.Req == req {
 			delete(e.comps, key)
 		}
 	}
 	delete(e.origins, req)
+}
+
+// StopSources halts this engine's sources for req without tearing down its
+// components or sinks, letting in-flight units drain — the conservation
+// tests use it to quiesce a composition before auditing unit counts. Open
+// batches are flushed so no unit lingers past its flush deadline.
+func (e *Engine) StopSources(req string) {
+	for key, src := range e.sources {
+		if src.req == req {
+			src.stopped = true
+			delete(e.sources, key)
+		}
+	}
+	e.flushAll()
 }
 
 // onDataDropped records a data unit lost at this node's downlink
@@ -346,16 +394,27 @@ func (e *Engine) onDataDropped(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		return
 	}
+	e.dropArrival(m)
+}
+
+// dropArrival is the shared downlink-drop accounting for legacy and
+// batched arrivals.
+func (e *Engine) dropArrival(m dataMsg) {
 	e.DropsDownlink++
 	telDropDownlink.Inc()
 	e.traceEvent(trace.KindDrop, m, m.Stage, "downlink")
 	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
 		e.Monitor.ObserveDrop("sink:"+sinkKey(m.Req, m.Substream), "sink")
+		f := e.flowFor(m.Req, m.Substream)
+		f.droppedUnits++
+		f.droppedBytes += int64(m.Size)
 		return
 	}
 	key := componentKey(m.Req, m.Substream, m.Stage)
 	if c, ok := e.comps[key]; ok {
 		e.Monitor.ObserveDrop(key, c.msg.Service)
+		c.flow.droppedUnits++
+		c.flow.droppedBytes += int64(m.Size)
 	}
 }
 
@@ -366,6 +425,12 @@ func (e *Engine) onData(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		return
 	}
+	e.handleUnit(m)
+}
+
+// handleUnit is the shared arrival path for legacy and batched units:
+// sink delivery, or a pooled enqueue onto the unit's shard.
+func (e *Engine) handleUnit(m dataMsg) {
 	now := e.clk.Now()
 	if s, ok := e.sinks[sinkKey(m.Req, m.Substream)]; ok && m.Stage == s.Stages {
 		e.Monitor.ObserveArrival("sink:"+sinkKey(m.Req, m.Substream), "sink", now, m.Size)
@@ -387,21 +452,25 @@ func (e *Engine) onData(_ overlay.ID, _ overlay.NodeInfo, body []byte) {
 	if exec == 0 {
 		exec = e.scaledProc(c)
 	}
-	u := &sched.Unit{
-		ComponentKey: key,
-		Deadline:     now + period,
-		ExecTime:     exec,
-		Enqueued:     now,
-		Payload:      unitTask{comp: c, msg: m},
-	}
-	if !e.queue.Push(u) {
+	u, task := getUnit()
+	u.ComponentKey = key
+	u.Deadline = now + period
+	u.ExecTime = exec
+	u.Enqueued = now
+	task.comp = c
+	task.msg = m
+	sh := e.shardFor(m.Req, m.Substream)
+	if !sh.queue.Push(u) {
 		e.DropsQueueFull++
 		telDropQueueFull.Inc()
 		e.traceEvent(trace.KindDrop, m, m.Stage, "queue-full")
 		e.Monitor.ObserveDrop(key, c.msg.Service) // queue overflow
+		c.flow.droppedUnits++
+		c.flow.droppedBytes += int64(m.Size)
+		putUnit(u)
 		return
 	}
-	e.kick()
+	e.kick(sh)
 }
 
 // scaledProc returns the component's reference processing time adjusted
@@ -410,41 +479,63 @@ func (e *Engine) scaledProc(c *component) time.Duration {
 	return time.Duration(float64(c.msg.ProcHint) / e.cfg.SpeedFactor)
 }
 
-// kick runs the CPU loop: if idle, pick the next unit (dropping ones whose
-// laxity went negative) and simulate its processing time.
-func (e *Engine) kick() {
-	if e.busy {
+// kick runs one shard's CPU loop: if the shard is idle, drain up to
+// BatchUnits ready units (dropping ones whose laxity went negative) and
+// simulate their combined processing time in one timer span. With
+// BatchUnits=1 this schedules exactly one unit per span — the legacy
+// behavior, event for event.
+func (e *Engine) kick(sh *engineShard) {
+	if sh.busy {
 		return
 	}
-	u, dropped := e.queue.Next(e.clk.Now())
-	for _, d := range dropped {
-		task := d.Payload.(unitTask)
+	maxRun := 1
+	if e.cfg.DataPlane.batching() {
+		maxRun = e.cfg.DataPlane.BatchUnits
+	}
+	sh.runs = sched.DrainN(sh.queue, e.clk.Now(), maxRun, sh.runs[:0], func(d *sched.Unit) {
+		task := d.Payload.(*unitTask)
 		e.DropsLaxity++
 		telDropLaxity.Inc()
 		e.traceEvent(trace.KindDrop, task.msg, task.msg.Stage, "laxity")
 		e.Monitor.ObserveDrop(d.ComponentKey, task.comp.msg.Service)
-	}
-	if u == nil {
+		task.comp.flow.droppedUnits++
+		task.comp.flow.droppedBytes += int64(task.msg.Size)
+		putUnit(d)
+	})
+	if len(sh.runs) == 0 {
 		return
 	}
-	task := u.Payload.(unitTask)
-	proc := e.scaledProc(task.comp)
-	if e.cfg.ProcJitter > 0 {
-		f := 1 + e.cfg.ProcJitter*(2*e.rng.Float64()-1)
-		proc = time.Duration(float64(proc) * f)
+	sh.procs = sh.procs[:0]
+	var total time.Duration
+	for _, u := range sh.runs {
+		task := u.Payload.(*unitTask)
+		proc := e.scaledProc(task.comp)
+		if e.cfg.ProcJitter > 0 {
+			f := 1 + e.cfg.ProcJitter*(2*e.rng.Float64()-1)
+			proc = time.Duration(float64(proc) * f)
+		}
+		if proc <= 0 {
+			proc = time.Microsecond
+		}
+		total += proc
+		sh.procs = append(sh.procs, proc)
 	}
-	if proc <= 0 {
-		proc = time.Microsecond
-	}
-	e.busy = true
-	e.clk.After(proc, func() {
-		e.busy = false
-		telProcessed.Inc()
-		e.Monitor.ObserveProcessed(u.ComponentKey, task.comp.msg.Service, proc)
-		e.Monitor.ObserveBusy(e.clk.Now(), proc)
-		e.traceEvent(trace.KindProcess, task.msg, task.msg.Stage, task.comp.msg.Service)
-		e.forward(task.comp, task.msg)
-		e.kick()
+	sh.busy = true
+	e.clk.After(total, func() {
+		// busy stays set until the drain scratch is fully consumed so a
+		// re-entrant kick cannot clobber sh.runs mid-iteration.
+		now := e.clk.Now()
+		for i, u := range sh.runs {
+			task := u.Payload.(*unitTask)
+			telProcessed.Inc()
+			e.Monitor.ObserveProcessed(u.ComponentKey, task.comp.msg.Service, sh.procs[i])
+			e.Monitor.ObserveBusy(now, sh.procs[i])
+			e.traceEvent(trace.KindProcess, task.msg, task.msg.Stage, task.comp.msg.Service)
+			e.forward(task.comp, task.msg)
+			putUnit(u)
+		}
+		sh.busy = false
+		e.kick(sh)
 	})
 }
 
@@ -468,25 +559,24 @@ func (e *Engine) forward(c *component, in dataMsg) {
 		if size <= 0 {
 			size = in.Size
 		}
-		dm := dataMsg{
-			Req:       in.Req,
-			Substream: in.Substream,
-			Stage:     out.ToStage,
-			Seq:       in.Seq,
-			Created:   in.Created,
-			Size:      size,
+		pu := pendingUnit{
+			msg: dataMsg{
+				Req:       in.Req,
+				Substream: in.Substream,
+				Stage:     out.ToStage,
+				Seq:       in.Seq,
+				Created:   in.Created,
+				Size:      size,
+			},
+			fromStage: in.Stage,
+			key:       c.key,
+			service:   c.msg.Service,
+			flow:      c.flow,
 		}
-		if err := e.sendUnit(out.To, dm); err != nil {
-			// Uplink congestion: the unit is dropped here, and the
-			// drop feeds the component's ratio — the congestion
-			// feedback RASC's composition relies on.
-			e.DropsUplink++
-			telDropUplink.Inc()
-			e.traceEvent(trace.KindDrop, dm, in.Stage, "uplink")
-			e.Monitor.ObserveDrop(c.key, c.msg.Service)
+		if e.cfg.DataPlane.batching() {
+			e.batchUnit(out.To, pu)
 		} else {
-			telForwarded.Inc()
-			e.traceEvent(trace.KindForward, dm, in.Stage, "")
+			e.settleUnit(&pu, e.sendUnit(out.To, pu.msg))
 		}
 	}
 }
@@ -502,6 +592,13 @@ func (e *Engine) sendUnit(to overlay.NodeInfo, m dataMsg) error {
 	if pad < 0 {
 		pad = 0
 	}
+	if err := e.node.DirectPadded(to.Addr, appData, body, pad); err != nil {
+		return err
+	}
+	// Charge the send meter only after the transport accepted the unit:
+	// units refused at the uplink never consumed send capacity, and
+	// counting them skewed OutBpsUsed upward exactly when the link was
+	// congested.
 	e.Monitor.ObserveSend(e.clk.Now(), m.Size)
-	return e.node.DirectPadded(to.Addr, appData, body, pad)
+	return nil
 }

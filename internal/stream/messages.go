@@ -16,7 +16,11 @@ import (
 
 // Application names on the overlay.
 const (
-	appData        = "stream-data"
+	appData = "stream-data"
+	// appDataBatch carries binary-coded unit batches (see dataplane.go).
+	// Engines register both handlers unconditionally so nodes with
+	// different DataPlane configs interoperate in one deployment.
+	appDataBatch   = "stream-data-batch"
 	appInstantiate = "stream-instantiate"
 	appTeardown    = "stream-teardown"
 	appStats       = "stats"

@@ -28,11 +28,12 @@ type Sink struct {
 	PlayoutDelay time.Duration
 
 	// Counters.
-	Received    int64
-	OutOfOrder  int64
-	Timely      int64
-	TotalDelay  time.Duration
-	TotalJitter time.Duration
+	Received       int64
+	DeliveredBytes int64
+	OutOfOrder     int64
+	Timely         int64
+	TotalDelay     time.Duration
+	TotalJitter    time.Duration
 	// Stalls counts rebuffering events under the playout model.
 	Stalls int64
 	// Delays retains per-unit end-to-end delays (milliseconds) for
@@ -56,6 +57,7 @@ func newSink(req string, substream, stages int, period, slack, playout time.Dura
 // observe records the arrival of one data unit at virtual time now.
 func (s *Sink) observe(m dataMsg, now time.Duration) {
 	s.Received++
+	s.DeliveredBytes += int64(m.Size)
 	s.TotalDelay += now - m.Created
 	if s.Delays != nil {
 		s.Delays.Add(float64(now-m.Created) / float64(time.Millisecond))

@@ -26,6 +26,9 @@ type source struct {
 	Emitted      int64
 	EmittedBytes int64
 	stopped      bool
+	flow         *flowCounters
+	// credit accumulates fractional units between burst-mode ticks.
+	credit float64
 }
 
 // retarget swaps the source's stage-0 split for a re-composed one. The
@@ -53,8 +56,13 @@ func (e *Engine) startSource(req string, substream int, ss spec.Substream, unitB
 		burstiness: ss.Burstiness,
 		split:      newSplitter(outs),
 	}
+	s.flow = e.flowFor(req, substream)
 	e.sources[sinkKey(req, substream)] = s
 	period := time.Duration(float64(time.Second) / s.rate)
+	if e.cfg.DataPlane.batching() {
+		e.startBurstSource(s, period)
+		return s
+	}
 	var tick func()
 	tick = func() {
 		if s.stopped {
@@ -62,31 +70,13 @@ func (e *Engine) startSource(req string, substream int, ss spec.Substream, unitB
 		}
 		out := s.split.next()
 		if out != nil {
-			size := unitBytes
-			if s.burstiness > 0 {
-				f := 1 + s.burstiness*(2*e.rng.Float64()-1)
-				size = int(float64(unitBytes) * f)
-				if size < 1 {
-					size = 1
-				}
-			}
-			m := dataMsg{
-				Req:       req,
-				Substream: substream,
-				Stage:     out.ToStage,
-				Seq:       s.seq,
-				Created:   e.clk.Now(),
-				Size:      size,
-			}
-			s.seq++
-			s.Emitted++
-			s.EmittedBytes += int64(size)
-			telEmitted.Inc()
-			e.traceEvent(traceEmitKind, m, -1, "")
+			m := e.emitUnit(s, out)
 			if err := e.sendUnit(out.To, m); err != nil {
 				// The origin's own uplink is congested: record the
 				// drop so the node's ratio reflects it.
-				e.Monitor.ObserveDrop("source:"+sinkKey(req, substream), "source")
+				e.Monitor.ObserveDrop("source:"+sinkKey(s.req, s.substream), "source")
+				s.flow.droppedUnits++
+				s.flow.droppedBytes += int64(m.Size)
 			}
 		}
 		e.clk.After(period, tick)
@@ -95,4 +85,70 @@ func (e *Engine) startSource(req string, substream int, ss spec.Substream, unitB
 	// beat in lockstep.
 	e.clk.After(time.Duration(e.rng.Int63n(int64(period))), tick)
 	return s
+}
+
+// emitUnit builds and accounts one source emission (size jitter, sequence,
+// counters, trace) without sending it.
+func (e *Engine) emitUnit(s *source, out *outSpec) dataMsg {
+	size := s.unitBytes
+	if s.burstiness > 0 {
+		f := 1 + s.burstiness*(2*e.rng.Float64()-1)
+		size = int(float64(s.unitBytes) * f)
+		if size < 1 {
+			size = 1
+		}
+	}
+	m := dataMsg{
+		Req:       s.req,
+		Substream: s.substream,
+		Stage:     out.ToStage,
+		Seq:       s.seq,
+		Created:   e.clk.Now(),
+		Size:      size,
+	}
+	s.seq++
+	s.Emitted++
+	s.EmittedBytes += int64(size)
+	s.flow.emittedUnits++
+	s.flow.emittedBytes += int64(size)
+	telEmitted.Inc()
+	e.traceEvent(traceEmitKind, m, -1, "")
+	return m
+}
+
+// startBurstSource runs the batched-data-plane emission loop: instead of
+// one timer event per unit, the source ticks at most once per flush
+// interval, accrues rate·Δt of unit credit, and emits the whole burst into
+// the per-destination batches. High-rate sources thus cost a few timer
+// events per flush interval rather than thousands per second, while the
+// long-run emission rate is identical to the legacy per-period loop.
+func (e *Engine) startBurstSource(s *source, period time.Duration) {
+	tickEvery := period
+	if fi := e.cfg.DataPlane.FlushInterval; tickEvery < fi {
+		tickEvery = fi
+	}
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.credit += s.rate * tickEvery.Seconds()
+		for ; s.credit >= 1; s.credit-- {
+			out := s.split.next()
+			if out == nil {
+				continue
+			}
+			m := e.emitUnit(s, out)
+			e.batchUnit(out.To, pendingUnit{
+				msg:       m,
+				fromStage: -1,
+				key:       "source:" + sinkKey(s.req, s.substream),
+				service:   "source",
+				isSource:  true,
+				flow:      s.flow,
+			})
+		}
+		e.clk.After(tickEvery, tick)
+	}
+	e.clk.After(time.Duration(e.rng.Int63n(int64(tickEvery))), tick)
 }

@@ -43,7 +43,33 @@ var (
 	telDropLaxity    = telStreamDropped.With("laxity")
 	telDropUplink    = telStreamDropped.With("uplink")
 	telDropDownlink  = telStreamDropped.With("downlink")
+
+	// Batched data plane (metric catalogue rasc_dataplane_*).
+	telDataplaneFlush = telemetry.Default().CounterVec(
+		"rasc_dataplane_flush_total",
+		"Batched data-plane wire messages sent, by flush cause.",
+		"cause")
+	telFlushFull     = telDataplaneFlush.With("full")
+	telFlushDeadline = telDataplaneFlush.With("deadline")
+	telFlushStop     = telDataplaneFlush.With("stop")
+	telBatchUnits    = telemetry.Default().Histogram(
+		"rasc_dataplane_batch_units",
+		"Data units per flushed data-plane batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 )
+
+// telBatchFlush increments the flush counter for a cause without a label
+// lookup on the hot path.
+func telBatchFlush(cause string) {
+	switch cause {
+	case "full":
+		telFlushFull.Inc()
+	case "deadline":
+		telFlushDeadline.Inc()
+	default:
+		telFlushStop.Inc()
+	}
+}
 
 // AppTimeBelowSeconds reads the application's accrued below-threshold
 // time from the availability counter — the per-priority isolation

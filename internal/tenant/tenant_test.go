@@ -211,8 +211,8 @@ func TestGateJournalRecordsDecisions(t *testing.T) {
 	j := trace.NewJournal(64)
 	g := NewGate(Config{CapacityBps: 10000, Journal: j, MinShareFraction: 0.5})
 	g.Admit("be", spec.BestEffort, 9000, nil)
-	g.Admit("crit", spec.Critical, 16000, nil)             // preempts be
-	g.Admit("big", spec.BestEffort, 1e9, nil) // queued
+	g.Admit("crit", spec.Critical, 16000, nil) // preempts be
+	g.Admit("big", spec.BestEffort, 1e9, nil)  // queued
 	triggers := map[string]int{}
 	for _, d := range j.Decisions() {
 		triggers[d.Trigger]++

@@ -87,6 +87,30 @@ func WithTenancy(cfg TenancyConfig) Option {
 	return func(o *Options) { o.Tenancy = &cfg }
 }
 
+// DataPlaneConfig tunes the per-node data-unit path: BatchUnits is the
+// maximum number of units coalesced per destination into one binary wire
+// message, FlushInterval bounds how long a unit waits in an open batch,
+// and Shards is the number of parallel execution contexts per node. The
+// zero value (and BatchUnits ≤ 1 with Shards ≤ 1) selects the legacy
+// per-unit path, bit-identical to deployments built without the option.
+type DataPlaneConfig = stream.DataPlaneConfig
+
+// DefaultDataPlane returns the tuned batching configuration benchmarked in
+// results/BENCH_dataplane.json (32-unit batches, 2ms flush deadline, 4
+// execution shards).
+func DefaultDataPlane() DataPlaneConfig { return stream.DefaultDataPlane() }
+
+// WithDataPlane selects the batched, sharded data plane on every node:
+// sources and forwarders coalesce up to cfg.BatchUnits units per
+// destination into one binary wire message (flushed no later than
+// cfg.FlushInterval after the first unit), and each node schedules units
+// across cfg.Shards execution contexts keyed by (request, substream) so
+// per-substream ordering is preserved. Read the aggregate effect with
+// Composition.Throughput.
+func WithDataPlane(cfg DataPlaneConfig) Option {
+	return func(o *Options) { o.DataPlane = &cfg }
+}
+
 // WithChaos wraps every node's transport endpoint with seeded fault
 // injection. Each node derives its own deterministic seed from the
 // deployment seed, and injected delays run on virtual time, so chaotic

@@ -112,6 +112,9 @@ type Options struct {
 	// Tenancy, when set, fronts every node's submission path with one
 	// shared admission gate (see WithTenancy).
 	Tenancy *TenancyConfig
+	// DataPlane, when set, enables the batched, sharded data plane on
+	// every node (see WithDataPlane).
+	DataPlane *DataPlaneConfig
 }
 
 // System is a running simulated RASC deployment.
@@ -144,6 +147,10 @@ func newSystem(opts Options) *System {
 		MinBps: opts.MinBps,
 		MaxBps: opts.MaxBps,
 	}, opts.Seed)
+	var dataPlane stream.DataPlaneConfig
+	if opts.DataPlane != nil {
+		dataPlane = *opts.DataPlane
+	}
 	d := deploy.NewSystem(deploy.SystemOptions{
 		Nodes:            opts.Nodes,
 		Seed:             opts.Seed,
@@ -159,6 +166,7 @@ func newSystem(opts Options) *System {
 		Chaos:            opts.Chaos,
 		Adaptation:       opts.Adaptation,
 		Tenancy:          opts.Tenancy,
+		DataPlane:        dataPlane,
 		// The default 300ms probe timeout sits below the topology's worst
 		// inter-site RTT (~330ms); 500ms keeps healthy members from being
 		// falsely suspected.
@@ -294,7 +302,34 @@ func (d DeliveryStats) TimelyFraction() float64 {
 	return float64(d.Timely) / float64(d.Received)
 }
 
+// Throughput is a typed per-substream data-plane snapshot: units and bytes
+// emitted by the source, forwarded between components, dropped for any
+// cause (queue overflow, missed laxity, uplink and downlink congestion),
+// and delivered to the sink.
+type Throughput = stream.Throughput
+
+// Throughput aggregates the composition's data-plane counters across every
+// node of the deployment, one snapshot per substream in order. Unlike
+// Stats (origin-local, source counters reset by teardown) it sees the
+// whole pipeline — intermediate-host forwards and drops included — and its
+// counters survive Stop, so emitted = delivered + dropped + in-flight
+// holds over a drained run.
+func (c *Composition) Throughput() []Throughput {
+	id := c.Graph.Request.ID
+	out := make([]Throughput, len(c.Graph.Request.Substreams))
+	for l := range out {
+		out[l] = Throughput{Req: id, Substream: l}
+		for _, eng := range c.sys.d.Engines {
+			out[l].Accumulate(eng.Throughput(id, l))
+		}
+	}
+	return out
+}
+
 // Stats reads the composition's current delivery metrics.
+//
+// The emitted counter comes from the origin's live source, so it reads 0
+// after Stop; prefer Throughput for accounting that must survive teardown.
 func (c *Composition) Stats() DeliveryStats {
 	eng := c.sys.d.Engines[c.origin]
 	var out DeliveryStats
