@@ -44,6 +44,9 @@ func main() {
 
 		dpJSON    = flag.String("dataplane-json", "", "write the legacy-vs-batched data plane throughput comparison as JSON to this path and exit")
 		dpSpeedup = flag.Float64("dataplane-min-speedup", 0, "with -dataplane-json: fail unless the batched plane is at least this many times faster")
+
+		tsJSON    = flag.String("tenancy-scale-json", "", "write the incremental-vs-full-recompute tenancy scale comparison (5k tenants, churn + host storms) as JSON to this path and exit")
+		tsSpeedup = flag.Float64("tenancy-min-speedup", 0, "with -tenancy-scale-json: fail unless the incremental admit p50 is at least this many times faster")
 	)
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *dpJSON)
+		return
+	}
+	if *tsJSON != "" {
+		if err := runTenancyScaleBenchJSON(*tsJSON, *tsSpeedup); err != nil {
+			fmt.Fprintf(os.Stderr, "tenancy scale bench json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tsJSON)
 		return
 	}
 	if *admJSON != "" {

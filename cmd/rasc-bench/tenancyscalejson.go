@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"rasc.dev/rasc/internal/experiment"
+)
+
+// tenancyScaleReport is the BENCH_tenancy_scale.json schema: the same
+// 5k-tenant churn+storm scenario through the incremental allocator and
+// the full-recompute baseline, compared on admission decision latency.
+type tenancyScaleReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// The scenario: Apps tenants over Hosts ledger hosts at Contention
+	// over-subscription, with churn batches and host-death storms (see
+	// experiment.RunTenancyScale).
+	Apps       int     `json:"apps"`
+	Hosts      int     `json:"hosts"`
+	Contention float64 `json:"contention"`
+	// Deadband is the relative fair-share deadband both runs use (the
+	// production default posture; suppressed updates are counted, not
+	// lost).
+	Deadband float64 `json:"fair_share_deadband"`
+
+	Incremental   tenancyScaleRun `json:"incremental"`
+	FullRecompute tenancyScaleRun `json:"full_recompute"`
+	// AdmitP50Speedup is full-recompute admit p50 over incremental — the
+	// headline number the CI floor checks.
+	AdmitP50Speedup float64 `json:"admit_p50_speedup"`
+}
+
+// tenancyScaleRun is one allocator configuration's measurement.
+type tenancyScaleRun struct {
+	TimedAdmits      int     `json:"timed_admits"`
+	AdmitP50Micros   float64 `json:"admit_p50_micros"`
+	AdmitP95Micros   float64 `json:"admit_p95_micros"`
+	AdmitMaxMicros   float64 `json:"admit_max_micros"`
+	RecomputeP50Mics float64 `json:"recompute_p50_micros"`
+	RecomputeP95Mics float64 `json:"recompute_p95_micros"`
+	Recomputes       int64   `json:"recomputes"`
+	CapNotifications int64   `json:"cap_notifications"`
+	CoalescedEvents  int64   `json:"coalesced_cap_events"`
+	NotifsPerRecomp  float64 `json:"notifications_per_recompute"`
+	Preempted        int64   `json:"preempted"`
+	Promoted         int64   `json:"promoted"`
+	AdmittedAtEnd    int     `json:"admitted_at_end"`
+	QueuedAtEnd      int     `json:"queued_at_end"`
+}
+
+const (
+	tsApps     = 5000
+	tsHosts    = 128
+	tsDeadband = 1e-3
+)
+
+func tenancyScaleRunFrom(res *experiment.TenancyScaleResults) tenancyScaleRun {
+	mics := func(d interface{ Microseconds() int64 }) float64 {
+		return float64(d.Microseconds())
+	}
+	return tenancyScaleRun{
+		TimedAdmits:      res.TimedAdmits,
+		AdmitP50Micros:   mics(res.AdmitP50),
+		AdmitP95Micros:   mics(res.AdmitP95),
+		AdmitMaxMicros:   mics(res.AdmitMax),
+		RecomputeP50Mics: mics(res.RecomputeP50),
+		RecomputeP95Mics: mics(res.RecomputeP95),
+		Recomputes:       res.Stats.Recomputes,
+		CapNotifications: res.Stats.CapNotifications,
+		CoalescedEvents:  res.Stats.CoalescedCapEvents,
+		NotifsPerRecomp:  res.NotificationsPerRecompute,
+		Preempted:        res.Preempted,
+		Promoted:         res.Promoted,
+		AdmittedAtEnd:    res.Totals.Admitted,
+		QueuedAtEnd:      res.Totals.Queued,
+	}
+}
+
+// runTenancyScaleBenchJSON runs the scale scenario with the incremental
+// allocator and the full-recompute baseline and writes the comparison to
+// path. A minSpeedup > 0 turns the report into a regression gate on the
+// admission p50.
+func runTenancyScaleBenchJSON(path string, minSpeedup float64) error {
+	// Lighter churn than the experiment defaults: the full-recompute
+	// baseline pays a solver pass per release and per queued promotion
+	// probe, and the smoke job runs this gate on every push.
+	cfg := experiment.TenancyScaleConfig{
+		Apps:              tsApps,
+		Hosts:             tsHosts,
+		FairShareDeadband: tsDeadband,
+		ChurnBatches:      4,
+		BatchSize:         15,
+		StormRounds:       1,
+		RecomputeOps:      24,
+	}
+	// Warm up once at a small size (first-use allocations, map growth),
+	// then measure both allocators on the identical sequence.
+	warm := cfg
+	warm.Apps, warm.Hosts = 200, 16
+	if _, err := experiment.RunTenancyScale(warm); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	inc, err := experiment.RunTenancyScale(cfg)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	base := cfg
+	base.DisableIncremental = true
+	full, err := experiment.RunTenancyScale(base)
+	if err != nil {
+		return fmt.Errorf("full recompute: %w", err)
+	}
+
+	report := tenancyScaleReport{
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Apps:          inc.Config.Apps,
+		Hosts:         inc.Config.Hosts,
+		Contention:    inc.Config.Contention,
+		Deadband:      tsDeadband,
+		Incremental:   tenancyScaleRunFrom(inc),
+		FullRecompute: tenancyScaleRunFrom(full),
+	}
+	if inc.AdmitP50 > 0 {
+		report.AdmitP50Speedup = float64(full.AdmitP50) / float64(inc.AdmitP50)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if minSpeedup > 0 && report.AdmitP50Speedup < minSpeedup {
+		return fmt.Errorf("incremental admit p50 speedup %.2fx below required %.2fx", report.AdmitP50Speedup, minSpeedup)
+	}
+	return nil
+}

@@ -63,6 +63,9 @@ func main() {
 		admissionBps = flag.Float64("admission-bps", 0, "admission gate capacity budget in bits/sec (0: derive from the node's link capacity)")
 		maxTenants   = flag.Int("max-tenants", 0, "bound on concurrently admitted applications (0: unlimited; implies -admission)")
 		priority     = flag.String("priority", "", "tenancy class of the -submit request: critical, standard or best-effort")
+		fairDeadband = flag.Float64("fair-deadband", 0, "suppress fair_share_changed notifications while a tenant's cap moves less than this relative fraction (0: notify on every move)")
+		capCoalesce  = flag.Duration("cap-coalesce", 0, "collapse cap fan-out bursts within this window into one sweep carrying the final caps (0: immediate fan-out)")
+		hostLedger   = flag.Bool("per-host-ledger", false, "account admission capacity per host, fed from gossip membership and monitoring digests, instead of one aggregate budget (implies -admission)")
 
 		batchUnits = flag.Int("batch-units", 0, "coalesce up to N data units per destination into one binary wire message (0 or 1: legacy per-unit path)")
 		flushIvl   = flag.Duration("flush-interval", 0, "flush an open data-unit batch no later than this after its first unit (0: default 2ms when batching)")
@@ -89,8 +92,14 @@ func main() {
 		os.Exit(2)
 	}
 	var tenancy *tenant.Config
-	if *admission || *maxTenants > 0 {
-		tenancy = &tenant.Config{CapacityBps: *admissionBps, MaxTenants: *maxTenants}
+	if *admission || *maxTenants > 0 || *hostLedger {
+		tenancy = &tenant.Config{
+			CapacityBps:       *admissionBps,
+			MaxTenants:        *maxTenants,
+			FairShareDeadband: *fairDeadband,
+			CapCoalesceWindow: *capCoalesce,
+			PerHostLedger:     *hostLedger,
+		}
 	}
 	node, err := live.Start(live.Config{
 		Listen:          *listen,

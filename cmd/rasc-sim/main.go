@@ -85,6 +85,9 @@ func main() {
 		admission    = flag.Bool("admission", false, "front submissions with the multi-tenant admission gate (priority classes, fair-share caps, admission queue)")
 		admissionBps = flag.Float64("admission-bps", 0, "admission gate capacity budget in bits/sec (0: derive from the topology's aggregate access capacity)")
 		maxTenants   = flag.Int("max-tenants", 0, "bound on concurrently admitted applications (0: unlimited; implies -admission)")
+		fairDeadband = flag.Float64("fair-deadband", 0, "suppress fair_share_changed notifications while a tenant's cap moves less than this relative fraction (0: notify on every move)")
+		capCoalesce  = flag.Duration("cap-coalesce", 0, "collapse cap fan-out bursts within this window into one sweep carrying the final caps (0: immediate fan-out)")
+		hostLedger   = flag.Bool("per-host-ledger", false, "account admission capacity per simulated node instead of one aggregate budget (implies -admission)")
 
 		runs     = flag.Int("runs", 1, "repeat the scenario on N independent deployments seeded seed..seed+N-1")
 		parallel = flag.Int("parallel", 0, "worker-pool size for -runs > 1 (0 = NumCPU, 1 = serial)")
@@ -111,7 +114,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	tenancyOn := *admission || *maxTenants > 0
+	tenancyOn := *admission || *maxTenants > 0 || *hostLedger
 	chaos := rasc.ChaosConfig{
 		Drop:        *chaosDrop,
 		Delay:       *chaosDelay,
@@ -131,8 +134,11 @@ func main() {
 		}
 		if tenancyOn {
 			o = append(o, rasc.WithTenancy(rasc.TenancyConfig{
-				CapacityBps: *admissionBps,
-				MaxTenants:  *maxTenants,
+				CapacityBps:       *admissionBps,
+				MaxTenants:        *maxTenants,
+				FairShareDeadband: *fairDeadband,
+				CapCoalesceWindow: *capCoalesce,
+				PerHostLedger:     *hostLedger,
 			}))
 		}
 		if *batchUnits > 1 || *shards > 1 {

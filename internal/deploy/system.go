@@ -247,6 +247,15 @@ func NewSystem(opts SystemOptions) *System {
 			tcfg.Journal = s.Journal
 		}
 		s.Gate = tenant.NewGate(tcfg)
+		if tcfg.PerHostLedger && sumShare > 0 {
+			// Seed the per-host ledger from the topology: each node
+			// carries its proportional slice of the budget, so a death
+			// releases exactly that host's budget and admission probes
+			// track real placement headroom.
+			for i, node := range c.Nodes {
+				s.Gate.UpsertHost(node.Info().ID.String(), tcfg.CapacityBps*nodeShare[i]/sumShare)
+			}
+		}
 		for _, eng := range s.Engines {
 			eng.SetTenantGate(s.Gate)
 		}
@@ -274,6 +283,12 @@ func NewSystem(opts SystemOptions) *System {
 				return
 			}
 			deadSeen[info.ID] = true
+			if s.Gate.PerHostLedger() {
+				// The ledger knows the dead host's exact budget; RemoveHost
+				// is idempotent, so duplicate detections release it once.
+				s.Gate.RemoveHost(info.ID.String())
+				return
+			}
 			if i, ok := nodeByID[info.ID]; ok && sumShare > 0 {
 				s.Gate.AddCapacity(-s.Gate.CapacityBps() * nodeShare[i] / sumShare)
 				sumShare -= nodeShare[i]

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunTenancyScaleSmall runs a scaled-down scenario and checks its
+// structural invariants: the storms actually preempt and promote, the
+// permanently dead hosts' budgets come off exactly once, and the
+// incremental allocator lands on the same final allocation as the
+// full-recompute baseline over the identical operation sequence.
+func TestRunTenancyScaleSmall(t *testing.T) {
+	cfg := TenancyScaleConfig{
+		Apps: 80, Hosts: 16, Seed: 7,
+		ChurnBatches: 3, BatchSize: 6,
+		StormRounds: 1, DeadHosts: 2, RecomputeOps: 8,
+	}
+	res, err := RunTenancyScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("admit p50=%v p95=%v max=%v recompute p50=%v preempted=%d promoted=%d notices=%d (%.1f/recompute)",
+		res.AdmitP50, res.AdmitP95, res.AdmitMax, res.RecomputeP50,
+		res.Preempted, res.Promoted, res.CapNotices, res.NotificationsPerRecompute)
+
+	if res.TimedAdmits != cfg.Apps+cfg.ChurnBatches*cfg.BatchSize {
+		t.Errorf("timed %d admissions, want %d", res.TimedAdmits, cfg.Apps+cfg.ChurnBatches*cfg.BatchSize)
+	}
+	if res.Totals.Admitted == 0 || res.Totals.Queued == 0 {
+		t.Errorf("totals %+v: want both admitted and parked tenants at this contention", res.Totals)
+	}
+	// The storm must have preempted someone on the capacity collapse and
+	// promoted someone on the rejoin.
+	if res.Preempted == 0 {
+		t.Error("host-death storm preempted nobody")
+	}
+	if res.Promoted == 0 {
+		t.Error("host-rejoin storm promoted nobody")
+	}
+	// Two hosts died permanently (with duplicated verdicts): the final
+	// budget is the per-host budget times the survivors, exactly once.
+	perHost := res.CapacityBps / float64(cfg.Hosts)
+	// The recompute perturbations alternate ±delta starting with +, so
+	// an even count nets out to the post-death capacity.
+	want := perHost * float64(cfg.Hosts-cfg.DeadHosts)
+	if got := res.Totals.CapacityBps; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("final capacity %v, want %v (dead-host budgets released exactly once)", got, want)
+	}
+	if res.Stats.Recomputes == 0 || res.Stats.CapNotifications == 0 {
+		t.Errorf("stats %+v: want recomputes and notifications", res.Stats)
+	}
+
+	// The identical operation sequence through the full-recompute
+	// baseline must land on the same final allocation.
+	base := cfg
+	base.DisableIncremental = true
+	bres, err := RunTenancyScale(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Admitted != bres.Totals.Admitted || res.Totals.Queued != bres.Totals.Queued {
+		t.Fatalf("incremental totals %+v != baseline %+v", res.Totals, bres.Totals)
+	}
+	caps := make(map[string]float64, len(bres.Snapshot))
+	for _, s := range bres.Snapshot {
+		caps[s.App] = s.CapBps
+	}
+	for _, s := range res.Snapshot {
+		want, ok := caps[s.App]
+		if !ok {
+			t.Errorf("%s present incrementally, absent from the baseline", s.App)
+			continue
+		}
+		if diff := math.Abs(s.CapBps - want); diff > 1e-6*math.Max(1, want) {
+			t.Errorf("%s cap %v incremental vs %v baseline", s.App, s.CapBps, want)
+		}
+	}
+}
+
+// TestRunTenancyScaleDeadband pins that a configured deadband suppresses
+// fan-out: the same scenario with a 1% band delivers fewer cap
+// notifications per recompute and counts the suppressed updates.
+func TestRunTenancyScaleDeadband(t *testing.T) {
+	cfg := TenancyScaleConfig{
+		Apps: 80, Hosts: 16, Seed: 7,
+		ChurnBatches: 3, BatchSize: 6,
+		StormRounds: 1, DeadHosts: 2, RecomputeOps: 8,
+	}
+	plain, err := RunTenancyScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FairShareDeadband = 0.01
+	banded, err := RunTenancyScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if banded.Stats.CapNotifications >= plain.Stats.CapNotifications {
+		t.Errorf("deadband did not reduce notifications: %d banded vs %d plain",
+			banded.Stats.CapNotifications, plain.Stats.CapNotifications)
+	}
+	if banded.Stats.CoalescedCapEvents == 0 {
+		t.Error("deadband suppressed nothing despite fewer notifications")
+	}
+}

@@ -129,9 +129,11 @@ func DataPlaneHandler(status func() stream.DataPlaneStatus) http.Handler {
 type tenantsResponse struct {
 	// Totals is the gate's aggregate posture; Tenants every tracked
 	// application — admitted ones first (sorted by ID), then the
-	// admission queue in promotion order.
-	Totals  tenant.Totals   `json:"totals"`
-	Tenants []tenant.Status `json:"tenants"`
+	// admission queue in promotion order. Hosts is the per-host
+	// capacity ledger (absent unless the gate runs one).
+	Totals  tenant.Totals       `json:"totals"`
+	Tenants []tenant.Status     `json:"tenants"`
+	Hosts   []tenant.HostBudget `json:"hosts,omitempty"`
 }
 
 // TenantsHandler serves the admission gate's posture as indented JSON,
@@ -154,7 +156,11 @@ func TenantsHandler(gate func() *tenant.Gate) http.Handler {
 			}
 			ts = kept
 		}
-		writeJSON(w, tenantsResponse{Totals: g.Totals(), Tenants: ts})
+		resp := tenantsResponse{Totals: g.Totals(), Tenants: ts}
+		if g.PerHostLedger() {
+			resp.Hosts = g.Hosts()
+		}
+		writeJSON(w, resp)
 	})
 }
 

@@ -297,6 +297,15 @@ func Start(cfg Config) (*Node, error) {
 			}
 			n.Gate = tenant.NewGate(tcfg)
 			n.Engine.SetTenantGate(n.Gate)
+			if tcfg.PerHostLedger {
+				// Seed the ledger with this node; gossip digests grow it
+				// as members are learned (see OnDigest below).
+				self := cfg.InBps
+				if cfg.OutBps < self {
+					self = cfg.OutBps
+				}
+				n.Gate.UpsertHost(n.Overlay.ID().String(), self)
+			}
 		}
 		if !cfg.DisableGossip {
 			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), cfg.Gossip)
@@ -310,11 +319,25 @@ func Start(cfg Config) (*Node, error) {
 			n.Gossip.OnMemberDead(func(info overlay.NodeInfo) {
 				ov.RemovePeer(info.ID)
 				eng.OnPeerDead(info.ID)
+				if n.Gate != nil && n.Gate.PerHostLedger() {
+					// Release the dead host's budget; RemoveHost is
+					// idempotent, so repeated verdicts release it once.
+					n.Gate.RemoveHost(info.ID.String())
+				}
 			})
 			// Disseminated digests feed the control plane's drop-spike
-			// trigger (a no-op until an AdaptationConfig arms it).
+			// trigger (a no-op until an AdaptationConfig arms it) and,
+			// with a per-host ledger, the admission gate's view of each
+			// member's access capacity.
 			n.Gossip.OnDigest(func(info overlay.NodeInfo, rep monitor.Report) {
 				eng.ObserveHostReport(info.ID, rep)
+				if n.Gate != nil && n.Gate.PerHostLedger() {
+					budget := rep.InBpsCap
+					if rep.OutBpsCap < budget {
+						budget = rep.OutBpsCap
+					}
+					n.Gate.UpsertHost(info.ID.String(), budget)
+				}
 			})
 			dir.SetView(n.Gossip)
 			eng.SetStatsProvider(n.Gossip.ReportFor)

@@ -286,6 +286,7 @@ func (e *Engine) activate(g *core.ExecutionGraph, sourceOuts map[int][]outSpec, 
 		availReceived: make(map[int]int64),
 		availAt:       e.clk.Now(),
 	}
+	e.chargePlacements(g)
 }
 
 // Teardown stops a request everywhere: local sources/components plus a

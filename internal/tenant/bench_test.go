@@ -7,13 +7,12 @@ import (
 	"rasc.dev/rasc/internal/spec"
 )
 
-// BenchmarkAdmission measures the admission decision latency with 1k
+// benchAdmission measures the admission decision latency with 1k
 // concurrent tenants already holding allocations — the cost a submission
 // pays at the gate before any composition work. Each iteration admits and
-// releases one extra tenant, exercising the water-filling recompute over
-// the full population (the worst case: every decision re-solves fairness).
-func BenchmarkAdmission(b *testing.B) {
-	g := NewGate(Config{CapacityBps: 1e9, QueueCapacity: 64})
+// releases one extra tenant.
+func benchAdmission(b *testing.B, disableIncremental bool) {
+	g := NewGate(Config{CapacityBps: 1e9, QueueCapacity: 64, DisableIncremental: disableIncremental})
 	pris := []spec.Priority{spec.Critical, spec.Standard, spec.BestEffort}
 	for i := 0; i < 1000; i++ {
 		app := fmt.Sprintf("app-%04d", i)
@@ -21,6 +20,7 @@ func BenchmarkAdmission(b *testing.B) {
 			b.Fatalf("seed tenant %s not admitted: %+v", app, dec)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dec := g.Admit("probe", spec.Standard, 1e6, nil)
@@ -31,8 +31,15 @@ func BenchmarkAdmission(b *testing.B) {
 	}
 }
 
-// BenchmarkFairShares isolates the water-filling solve at 1k tenants.
-func BenchmarkFairShares(b *testing.B) {
+// BenchmarkAdmission is the default (incremental) allocator: O(log n)
+// treap maintenance per join/leave.
+func BenchmarkAdmission(b *testing.B) { benchAdmission(b, false) }
+
+// BenchmarkAdmissionFullRecompute pins the DisableIncremental baseline:
+// every decision re-solves fairness over the full population.
+func BenchmarkAdmissionFullRecompute(b *testing.B) { benchAdmission(b, true) }
+
+func benchDemands() []Demand {
 	demands := make([]Demand, 1000)
 	for i := range demands {
 		demands[i] = Demand{
@@ -41,8 +48,28 @@ func BenchmarkFairShares(b *testing.B) {
 			Weight: []float64{1, 2, 4}[i%3],
 		}
 	}
+	return demands
+}
+
+// BenchmarkFairShares isolates the water-filling solve at 1k tenants.
+func BenchmarkFairShares(b *testing.B) {
+	demands := benchDemands()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FairShares(demands, 5e8)
+	}
+}
+
+// BenchmarkFairSharesInto is the zero-alloc variant writing into reused
+// buffers — the form the gate's full-recompute path uses.
+func BenchmarkFairSharesInto(b *testing.B) {
+	demands := benchDemands()
+	dst := make([]float64, len(demands))
+	var scratch FairShareScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = FairSharesInto(dst, &scratch, demands, 5e8)
 	}
 }

@@ -1,0 +1,63 @@
+package tenant
+
+import (
+	"testing"
+
+	"rasc.dev/rasc/internal/spec"
+)
+
+// TestCapRequestNoCopyFastPath pins the no-copy fast path: when the cap
+// covers the aggregate rate — or is so close that every floored rate
+// comes out unchanged — CapRequest returns the request without cloning
+// its substreams, and allocates nothing.
+func TestCapRequestNoCopyFastPath(t *testing.T) {
+	req := spec.Request{
+		ID:        "app",
+		UnitBytes: 1250, // 10000 bits/unit
+		Substreams: []spec.Substream{
+			{Services: []string{"s1"}, Rate: 30},
+			{Services: []string{"s2"}, Rate: 10},
+		},
+	}
+	demand := req.BitsPerSecond(req.TotalRate()) // 400000 bps
+
+	for name, capBps := range map[string]float64{
+		"surplus":        2 * demand,
+		"exact":          demand,
+		"zero-means-off": 0,
+	} {
+		got := CapRequest(req, capBps)
+		if &got.Substreams[0] != &req.Substreams[0] {
+			t.Errorf("%s (cap %v): substreams were cloned on the fast path", name, capBps)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			CapRequest(req, capBps)
+		}); allocs != 0 {
+			t.Errorf("%s (cap %v): %v allocs/op, want 0", name, capBps, allocs)
+		}
+	}
+
+	// A binding cap whose floors are all clamped back to the 1-unit
+	// minimum changes nothing either — no clone, no allocation.
+	tiny := spec.Request{
+		ID:        "tiny",
+		UnitBytes: 1250,
+		Substreams: []spec.Substream{
+			{Services: []string{"s1"}, Rate: 1},
+			{Services: []string{"s2"}, Rate: 1},
+		},
+	}
+	got := CapRequest(tiny, 1)
+	if &got.Substreams[0] != &tiny.Substreams[0] {
+		t.Error("clamped-to-floor request was cloned")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { CapRequest(tiny, 1) }); allocs != 0 {
+		t.Errorf("clamped-to-floor: %v allocs/op, want 0", allocs)
+	}
+
+	// A genuinely binding cap still deep-copies and leaves the input alone.
+	capped := CapRequest(req, demand/2)
+	if capped.Substreams[0].Rate != 15 || req.Substreams[0].Rate != 30 {
+		t.Fatalf("binding cap: got %d, input %d", capped.Substreams[0].Rate, req.Substreams[0].Rate)
+	}
+}

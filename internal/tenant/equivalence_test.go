@@ -1,0 +1,123 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rasc.dev/rasc/internal/spec"
+)
+
+// TestGateIncrementalEquivalence feeds the same randomized operation
+// sequence — admissions across priority classes, demand changes, releases,
+// capacity resizes — to an incremental gate and a full-recompute
+// (DisableIncremental) gate, and requires their externally visible state
+// to stay identical after every operation: the admission decision itself,
+// every tenant's state and cap, the queue order, and the totals. Demands
+// are integers and class weights powers of two, so the two paths' float
+// arithmetic is exact and equality is bit-level. Run it with -race: the
+// churn also exercises the coalescing-free notification path end to end.
+func TestGateIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func(disable bool) *Gate {
+		return NewGate(Config{
+			CapacityBps:        1e6,
+			QueueCapacity:      32,
+			MinShareFraction:   0.25,
+			DisableIncremental: disable,
+		})
+	}
+	inc, full := mk(false), mk(true)
+	pris := []spec.Priority{spec.Critical, spec.Standard, spec.BestEffort}
+
+	compare := func(step int, op string) {
+		t.Helper()
+		si, sf := inc.Snapshot(), full.Snapshot()
+		if !reflect.DeepEqual(si, sf) {
+			t.Fatalf("step %d (%s): snapshots diverged\nincremental: %+v\nfull:        %+v", step, op, si, sf)
+		}
+		ti, tf := inc.Totals(), full.Totals()
+		// AllocatedBps is summed in map-iteration order, so the two gates
+		// can differ in the last ulp even with bit-equal per-tenant caps
+		// (the snapshot comparison above pins those). Compare it within
+		// epsilon and everything else exactly.
+		if math.Abs(ti.AllocatedBps-tf.AllocatedBps) > 1e-6*math.Max(1, tf.AllocatedBps) {
+			t.Fatalf("step %d (%s): allocated diverged: inc %v, full %v", step, op, ti.AllocatedBps, tf.AllocatedBps)
+		}
+		ti.AllocatedBps, tf.AllocatedBps = 0, 0
+		if !reflect.DeepEqual(ti, tf) {
+			t.Fatalf("step %d (%s): totals diverged\nincremental: %+v\nfull:        %+v", step, op, ti, tf)
+		}
+	}
+
+	for step := 0; step < 1500; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // admit: new app, or demand change on an existing one
+			app := fmt.Sprintf("app-%03d", rng.Intn(80))
+			pri := pris[rng.Intn(len(pris))]
+			demand := float64(1 + rng.Intn(300000))
+			di := inc.Admit(app, pri, demand, nil)
+			df := full.Admit(app, pri, demand, nil)
+			if di.State != df.State || di.New != df.New || di.CapBps != df.CapBps {
+				t.Fatalf("step %d: admit(%s, %s, %v) decisions diverged: inc %+v, full %+v",
+					step, app, pri, demand, di, df)
+			}
+			compare(step, "admit "+app)
+		case 5, 6, 7: // release (promotes from the queue)
+			app := fmt.Sprintf("app-%03d", rng.Intn(80))
+			inc.Release(app)
+			full.Release(app)
+			compare(step, "release "+app)
+		case 8: // grow or shrink capacity (shrink can preempt)
+			c := float64(100000 + rng.Intn(2000000))
+			inc.SetCapacity(c)
+			full.SetCapacity(c)
+			compare(step, fmt.Sprintf("capacity %v", c))
+		default: // delta resize through AddCapacity
+			d := float64(rng.Intn(200001) - 100000)
+			if inc.CapacityBps()+d <= 0 {
+				continue
+			}
+			inc.AddCapacity(d)
+			full.AddCapacity(d)
+			compare(step, fmt.Sprintf("capacity += %v", d))
+		}
+	}
+	if tt := inc.Totals(); tt.Admitted == 0 {
+		t.Fatal("churn never left tenants admitted; the test exercised nothing")
+	}
+}
+
+// TestGateIncrementalNotificationsConsistent checks that every cap the
+// incremental gate announces matches the cap it actually holds for that
+// tenant once the dust settles — the fan-out may skip unchanged tenants
+// but must never deliver a stale value last.
+func TestGateIncrementalNotificationsConsistent(t *testing.T) {
+	rec := newRecorder()
+	g := NewGate(Config{CapacityBps: 10000, MinShareFraction: 0.1})
+	g.Admit("a", spec.Standard, 8000, rec)
+	g.Admit("b", spec.Standard, 8000, rec)
+	g.Admit("c", spec.BestEffort, 8000, rec)
+	g.SetCapacity(6000)
+	g.SetCapacity(15000)
+	rec.mu.Lock()
+	caps := make(map[string]float64, len(rec.caps))
+	for app, c := range rec.caps {
+		caps[app] = c
+	}
+	rec.mu.Unlock()
+	if len(caps) == 0 {
+		t.Fatal("no cap notifications delivered under contention churn")
+	}
+	for app, announced := range caps {
+		got, ok := g.CapBps(app)
+		if !ok {
+			continue // preempted after the notification: nothing to compare
+		}
+		if math.Abs(got-announced) > 1e-6 {
+			t.Errorf("%s: last announced cap %v, gate holds %v", app, announced, got)
+		}
+	}
+}

@@ -19,12 +19,19 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // not samples.
 func TestTenantMetricsCatalogue(t *testing.T) {
 	// Drive every family at least once: admissions in every outcome,
-	// a preemption, cap changes, and the posture gauges.
+	// a preemption, cap changes, the posture gauges, and the ledger /
+	// incremental-path families.
 	g := NewGate(Config{CapacityBps: 10000, QueueCapacity: 1, MinShareFraction: 0.5})
 	g.Admit("be", spec.BestEffort, 9000, nil)
 	g.Admit("crit", spec.Critical, 16000, nil) // preempts be into the queue
 	g.Admit("rej", spec.BestEffort, 1e9, nil)  // queue full: rejected
 	g.Release("crit")                          // promotes be
+
+	lg := NewGate(Config{PerHostLedger: true, FairShareDeadband: 0.05})
+	lg.UpsertHost("h1", 8000)
+	lg.Admit("a", spec.Standard, 6000, nil)
+	lg.Admit("b", spec.Standard, 6000, nil) // contended: deadband sweeps engage
+	lg.RemoveHost("h1")
 
 	exp := telemetry.Default().String()
 	var got strings.Builder
@@ -60,6 +67,10 @@ func TestTenantMetricsCatalogue(t *testing.T) {
 		"rasc_tenant_queued",
 		"rasc_tenant_capacity_bps",
 		"rasc_tenant_demand_bps",
+		"rasc_tenant_cap_notifications_coalesced_total",
+		"rasc_tenant_recompute_incremental_total",
+		"rasc_tenant_hosts",
+		"rasc_tenant_recompute_duration_seconds",
 	} {
 		if !strings.Contains(exp, name) {
 			t.Errorf("%s missing from exposition", name)
