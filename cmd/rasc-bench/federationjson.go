@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"rasc.dev/rasc/internal/experiment"
+)
+
+// federationReport is the BENCH_federation.json schema: the same
+// partitioned-catalog request sequences through a multi-cluster federated
+// deployment and a flat single-solver baseline, compared on composition
+// success, hand-off reliability and compose latency.
+type federationReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Nodes      int    `json:"nodes"`
+	Clusters   int    `json:"clusters"`
+	Seeds      int    `json:"seeds"`
+	Requests   int    `json:"requests_per_seed"`
+
+	Federated federationRunJSON `json:"federated"`
+	Flat      federationRunJSON `json:"flat"`
+	// HandoffSuccessRate is committed hand-offs over attempts — the
+	// headline number the CI smoke job checks.
+	HandoffSuccessRate float64 `json:"handoff_success_rate"`
+	// MaxBoundaryUtilization is the worst reserved/capacity fraction seen
+	// on any boundary link; > 1 would mean the ledger oversubscribed.
+	MaxBoundaryUtilization float64 `json:"max_boundary_utilization"`
+}
+
+// federationRunJSON is one side's aggregate measurement.
+type federationRunJSON struct {
+	Submitted            int     `json:"submitted"`
+	Composed             int     `json:"composed"`
+	CrossCluster         int     `json:"cross_cluster"`
+	HandoffsOK           int64   `json:"handoffs_ok"`
+	HandoffsFailed       int64   `json:"handoffs_failed"`
+	HandoffsSaturated    int64   `json:"handoffs_saturated"`
+	ComposedFraction     float64 `json:"composed_fraction"`
+	DeliveredFraction    float64 `json:"delivered_fraction"`
+	MeanComposeLatencyMs float64 `json:"mean_compose_latency_ms"`
+}
+
+func federationRunFrom(c experiment.FederationCell) federationRunJSON {
+	return federationRunJSON{
+		Submitted:            c.Submitted,
+		Composed:             c.Composed,
+		CrossCluster:         c.CrossCluster,
+		HandoffsOK:           c.HandoffsOK,
+		HandoffsFailed:       c.HandoffsFailed,
+		HandoffsSaturated:    c.HandoffsSaturated,
+		ComposedFraction:     c.ComposedFraction(),
+		DeliveredFraction:    c.DeliveredFraction(),
+		MeanComposeLatencyMs: c.MeanComposeLatencyMs(),
+	}
+}
+
+// runFederationBenchJSON runs the federation comparison and writes it to
+// path. A minSuccess > 0 turns the report into a regression gate on the
+// hand-off success rate (and always fails on an oversubscribed boundary).
+func runFederationBenchJSON(path string, minSuccess float64) error {
+	res, err := experiment.RunFederation(experiment.FederationConfig{
+		Nodes:    24,
+		Clusters: 3,
+		Seeds:    []int64{1, 2, 3},
+		Requests: 12,
+		Progress: func(line string) { fmt.Println(line) },
+	})
+	if err != nil {
+		return err
+	}
+	fed := res.Aggregate(func(r experiment.FederationRun) experiment.FederationCell { return r.Federated })
+	flat := res.Aggregate(func(r experiment.FederationRun) experiment.FederationCell { return r.Flat })
+	report := federationReport{
+		GoVersion:              runtime.Version(),
+		GoMaxProcs:             runtime.GOMAXPROCS(0),
+		Nodes:                  res.Config.Nodes,
+		Clusters:               res.Config.Clusters,
+		Seeds:                  len(res.Config.Seeds),
+		Requests:               res.Config.Requests,
+		Federated:              federationRunFrom(fed),
+		Flat:                   federationRunFrom(flat),
+		HandoffSuccessRate:     fed.HandoffSuccessRate(),
+		MaxBoundaryUtilization: fed.MaxBoundaryUtilization,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if report.MaxBoundaryUtilization > 1 {
+		return fmt.Errorf("boundary link oversubscribed: utilization %.3f", report.MaxBoundaryUtilization)
+	}
+	if minSuccess > 0 && report.HandoffSuccessRate < minSuccess {
+		return fmt.Errorf("hand-off success rate %.3f below required %.3f", report.HandoffSuccessRate, minSuccess)
+	}
+	return nil
+}

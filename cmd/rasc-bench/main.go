@@ -47,6 +47,9 @@ func main() {
 
 		tsJSON    = flag.String("tenancy-scale-json", "", "write the incremental-vs-full-recompute tenancy scale comparison (5k tenants, churn + host storms) as JSON to this path and exit")
 		tsSpeedup = flag.Float64("tenancy-min-speedup", 0, "with -tenancy-scale-json: fail unless the incremental admit p50 is at least this many times faster")
+
+		fedJSON    = flag.String("federation-json", "", "write the federated-vs-flat multi-cluster composition comparison (3 clusters, partitioned catalog, boundary hand-offs) as JSON to this path and exit")
+		fedSuccess = flag.Float64("federation-min-handoff", 0, "with -federation-json: fail unless the hand-off success rate is at least this fraction")
 	)
 	flag.Parse()
 
@@ -72,6 +75,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *tsJSON)
+		return
+	}
+	if *fedJSON != "" {
+		if err := runFederationBenchJSON(*fedJSON, *fedSuccess); err != nil {
+			fmt.Fprintf(os.Stderr, "federation bench json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *fedJSON)
 		return
 	}
 	if *admJSON != "" {

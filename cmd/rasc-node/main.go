@@ -32,21 +32,26 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		bootstrap = flag.String("bootstrap", "", "existing node to join through (empty: start a new overlay)")
-		name      = flag.String("name", "", "node name (seeds the overlay ID)")
-		svcList   = flag.String("services", "", "comma-separated services to announce")
-		submit    = flag.String("submit", "", "service chain to compose once joined (e.g. filter,transcode)")
-		composer  = flag.String("composer", "mincost", "composer for -submit")
-		rateKbps  = flag.Int("rate", 100, "requested rate in Kbps for -submit")
-		unit      = flag.Int("unit", 1250, "data unit size in bytes")
-		udp       = flag.Bool("udp", false, "send stream data over UDP (control stays on TCP)")
-		admin     = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
-		refresh   = flag.Duration("refresh-interval", 2*time.Second, "how often service registrations are re-published to the DHT")
-		ttl       = flag.Duration("record-ttl", 10*time.Second, "DHT registration lifetime without a refresh (must exceed -refresh-interval)")
-		noGossip  = flag.Bool("no-gossip", false, "disable the gossip membership protocol (DHT-only lookups, fetch-time stats)")
-		probeIvl  = flag.Duration("gossip-probe-interval", 0, "gossip failure-detector probe period (0: default 1s)")
-		suspicion = flag.Duration("gossip-suspicion-timeout", 0, "how long a suspect member may refute before it is declared dead (0: default 3s)")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		bootstrap   = flag.String("bootstrap", "", "existing node to join through (empty: start a new overlay)")
+		name        = flag.String("name", "", "node name (seeds the overlay ID)")
+		svcList     = flag.String("services", "", "comma-separated services to announce")
+		submit      = flag.String("submit", "", "service chain to compose once joined (e.g. filter,transcode)")
+		submitAfter = flag.Duration("submit-after", 0, "wait this long after joining before -submit, so DHT registrations and border cluster summaries converge first")
+		composer    = flag.String("composer", "mincost", "composer for -submit")
+		rateKbps    = flag.Int("rate", 100, "requested rate in Kbps for -submit")
+		unit        = flag.Int("unit", 1250, "data unit size in bytes")
+		udp         = flag.Bool("udp", false, "send stream data over UDP (control stays on TCP)")
+		admin       = flag.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		refresh     = flag.Duration("refresh-interval", 2*time.Second, "how often service registrations are re-published to the DHT")
+		ttl         = flag.Duration("record-ttl", 10*time.Second, "DHT registration lifetime without a refresh (must exceed -refresh-interval)")
+		noGossip    = flag.Bool("no-gossip", false, "disable the gossip membership protocol (DHT-only lookups, fetch-time stats)")
+		probeIvl    = flag.Duration("gossip-probe-interval", 0, "gossip failure-detector probe period (0: default 1s)")
+		suspicion   = flag.Duration("gossip-suspicion-timeout", 0, "how long a suspect member may refute before it is declared dead (0: default 3s)")
+
+		cluster     = flag.String("cluster", "", "federation cluster this node belongs to (empty: flat deployment); requires gossip")
+		borderPeers = flag.String("border-peers", "", "comma-separated addresses of remote-cluster border nodes to exchange cluster summaries with")
+		boundaryBps = flag.Float64("boundary-bps", 0, "advertised boundary-link capacity in bits/sec for cross-cluster hand-offs (0: default 100 Mbps)")
 
 		noResilience = flag.Bool("no-resilience", false, "send frames synchronously instead of through the async retry/breaker pipeline")
 		breakerFails = flag.Int("breaker-threshold", 0, "consecutive delivery failures before a peer's circuit opens (0: default 5)")
@@ -79,6 +84,10 @@ func main() {
 	var services []string
 	if *svcList != "" {
 		services = strings.Split(*svcList, ",")
+	}
+	var borders []string
+	if *borderPeers != "" {
+		borders = strings.Split(*borderPeers, ",")
 	}
 	var adaptation *stream.AdaptationConfig
 	if *adaptIvl > 0 {
@@ -114,6 +123,9 @@ func main() {
 			ProbeInterval:    *probeIvl,
 			SuspicionTimeout: *suspicion,
 		},
+		Cluster:           *cluster,
+		BorderPeers:       borders,
+		BoundaryBps:       *boundaryBps,
 		DisableResilience: *noResilience,
 		Resilience: transport.ResilientConfig{
 			Breaker: transport.BreakerConfig{
@@ -161,6 +173,13 @@ func main() {
 	defer cancel()
 
 	if *submit != "" {
+		if *submitAfter > 0 {
+			select {
+			case <-time.After(*submitAfter):
+			case <-ctx.Done():
+				return
+			}
+		}
 		chain := strings.Split(*submit, ",")
 		rateUnits := *rateKbps * 1000 / (*unit * 8)
 		if rateUnits < 1 {

@@ -89,6 +89,12 @@ func main() {
 		capCoalesce  = flag.Duration("cap-coalesce", 0, "collapse cap fan-out bursts within this window into one sweep carrying the final caps (0: immediate fan-out)")
 		hostLedger   = flag.Bool("per-host-ledger", false, "account admission capacity per simulated node instead of one aggregate budget (implies -admission)")
 
+		clusters    = flag.Int("clusters", 0, "shard the deployment into N federated clusters with cluster-scoped composers and boundary hand-offs (0: flat; implies -gossip)")
+		borderNodes = flag.Int("border-peers", 0, "border nodes per cluster exchanging boundary summaries (0: default 1)")
+		boundaryBps = flag.Float64("boundary-bps", 0, "inter-cluster boundary-link capacity in bits/sec (0: default 100 Mbps)")
+		clusterSvcs = flag.String("cluster-services", "", "per-cluster service restrictions as semicolon-separated comma lists, e.g. 'filter,encrypt;transcode' (empty: every cluster announces from the full catalog)")
+		reqCluster  = flag.String("cluster", "", "pin the submitted request to this cluster's composer (e.g. c1; empty: the origin node's own cluster)")
+
 		runs     = flag.Int("runs", 1, "repeat the scenario on N independent deployments seeded seed..seed+N-1")
 		parallel = flag.Int("parallel", 0, "worker-pool size for -runs > 1 (0 = NumCPU, 1 = serial)")
 
@@ -141,6 +147,19 @@ func main() {
 				PerHostLedger:     *hostLedger,
 			}))
 		}
+		if *clusters > 0 {
+			fed := rasc.FederationConfig{
+				Clusters:    *clusters,
+				BorderPeers: *borderNodes,
+				BoundaryBps: *boundaryBps,
+			}
+			if *clusterSvcs != "" {
+				for _, group := range strings.Split(*clusterSvcs, ";") {
+					fed.ClusterServices = append(fed.ClusterServices, strings.Split(group, ","))
+				}
+			}
+			o = append(o, rasc.WithFederation(fed))
+		}
 		if *batchUnits > 1 || *shards > 1 {
 			o = append(o, rasc.WithDataPlane(rasc.DataPlaneConfig{
 				BatchUnits:    *batchUnits,
@@ -160,16 +179,28 @@ func main() {
 		UnitBytes:  *unit,
 		Substreams: []rasc.Substream{{Services: chain, Rate: rateUnits}},
 		Priority:   pri,
+		Cluster:    *reqCluster,
 	}
 	if *runs > 1 {
 		if *traceOn || *workFile != "" || *dotOut != "" {
 			fmt.Fprintln(os.Stderr, "-runs > 1 is incompatible with -trace, -workload and -dot")
 			os.Exit(2)
 		}
-		multiRun(*runs, *parallel, *seed, *origin, *duration, req, cmp, mkOpts)
+		warm := time.Duration(0)
+		if *clusters > 1 {
+			warm = 30 * time.Second
+		}
+		multiRun(*runs, *parallel, *seed, *origin, *duration, warm, req, cmp, mkOpts)
 		return
 	}
+	// A federated deployment needs the border summary exchange and digest
+	// dissemination to converge before cross-cluster discovery can answer.
+	warmup := time.Duration(0)
+	if *clusters > 1 {
+		warmup = 30 * time.Second
+	}
 	sys := rasc.New(mkOpts(*seed)...)
+	sys.Run(warmup)
 	var buf *rasc.TraceBuffer
 	if *traceOn {
 		buf = sys.EnableTracing(1_000_000)
@@ -226,6 +257,7 @@ func main() {
 		fmt.Print(trace.FormatTimeline(buf.Timeline(req.ID, 0, 50)))
 	}
 	dumpTenants(sys)
+	dumpFederation(sys, *origin, *clusters)
 	dumpTelemetry(sys, *telOut)
 	dumpDecisions(sys, *decOut)
 }
@@ -234,7 +266,7 @@ func main() {
 // deployments seeded base..base+n-1, fanned out across a bounded worker
 // pool. Each run builds its own System, so nothing is shared; results
 // print in seed order regardless of completion order.
-func multiRun(n, workers int, base int64, origin int, duration time.Duration, req rasc.Request, cmp rasc.Composer, mkOpts func(int64) []rasc.Option) {
+func multiRun(n, workers int, base int64, origin int, duration, warmup time.Duration, req rasc.Request, cmp rasc.Composer, mkOpts func(int64) []rasc.Option) {
 	type outcome struct {
 		hosts int
 		stats rasc.DeliveryStats
@@ -244,6 +276,7 @@ func multiRun(n, workers int, base int64, origin int, duration time.Duration, re
 	fmt.Printf("running %d deployments (seeds %d..%d) via %s\n", n, base, base+int64(n)-1, cmp)
 	err := experiment.ParallelFor(n, workers, func(i int) error {
 		sys := rasc.New(mkOpts(base + int64(i))...)
+		sys.Run(warmup)
 		comp, err := sys.Submit(origin, req, cmp)
 		if err != nil {
 			results[i].err = err
@@ -290,6 +323,29 @@ func dumpTenants(sys *rasc.System) {
 	for _, t := range tenants {
 		fmt.Printf("  %-12s %-11s %-8s demand %8.0f bps cap %8.0f bps\n",
 			t.App, t.Priority, t.State, t.DemandBps, t.CapBps)
+	}
+}
+
+// dumpFederation prints the origin's federation posture — its cluster,
+// committed cross-cluster hand-offs and every cluster's boundary-link
+// accounting (a no-op without -clusters).
+func dumpFederation(sys *rasc.System, origin, clusters int) {
+	refs, ok := sys.Handoffs(origin)
+	if !ok {
+		return
+	}
+	fmt.Printf("\nfederation: origin in cluster %s, %d cross-cluster hand-off(s)\n",
+		sys.ClusterOf(origin), len(refs))
+	for _, h := range refs {
+		fmt.Printf("  %s substream %d -> %s (%.0f bps across the boundary)\n",
+			h.App, h.Substream, h.RemoteCluster, h.DebitBps)
+	}
+	for k := 0; k < clusters; k++ {
+		links, _ := sys.BoundaryLinks(k)
+		for _, l := range links {
+			fmt.Printf("  cluster c%d link %s: %.0f/%.0f bps reserved, %d credit(s)\n",
+				k, l.Link, l.ReservedBps, l.CapacityBps, l.Credits)
+		}
 	}
 }
 

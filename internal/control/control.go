@@ -409,6 +409,16 @@ func (c *Controller) handle(ev Event) {
 		// application onto it. Edge-triggered: the gate fires once per
 		// recompute, so gated work is latched.
 		c.request(ev.App, &ev, &work{full: true, upgrade: true, allSubs: true}, true)
+	case BoundaryLinkSaturated:
+		// A hand-off was refused at the boundary ledger. There is no host
+		// to shift away from (the scarcity is the inter-cluster link), so
+		// re-plan the whole application. Edge-triggered per refusal.
+		c.request(ev.App, &ev, &work{full: true, allSubs: true}, true)
+	case RemoteCandidateLost:
+		// A remote cluster went silent past its summary TTL. Its fragments
+		// are unreachable state: tear down and re-compose from what still
+		// answers. Edge-triggered — the TTL expiry fires once.
+		c.request(ev.App, &ev, &work{full: true, allSubs: true}, true)
 	}
 }
 

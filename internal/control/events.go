@@ -28,6 +28,15 @@ const (
 	// cluster capacity changed); the application must be recomposed to
 	// its new cap.
 	FairShareChanged
+	// BoundaryLinkSaturated reports that a federated hand-off could not
+	// reserve inter-cluster boundary capacity: the application should be
+	// recomposed so its cross-cluster substreams find another route (or
+	// shrink to what the boundary can carry).
+	BoundaryLinkSaturated
+	// RemoteCandidateLost reports that a remote cluster hosting part of a
+	// federated application stopped answering border summaries: its
+	// fragments must be re-placed before the silence becomes loss.
+	RemoteCandidateLost
 )
 
 // String returns the snake_case label used in rasc_control_* telemetry.
@@ -45,6 +54,10 @@ func (k EventKind) String() string {
 		return "upgrade_possible"
 	case FairShareChanged:
 		return "fair_share_changed"
+	case BoundaryLinkSaturated:
+		return "boundary_link_saturated"
+	case RemoteCandidateLost:
+		return "remote_candidate_lost"
 	}
 	return "unknown"
 }

@@ -1,0 +1,62 @@
+package core
+
+import "rasc.dev/rasc/internal/spec"
+
+// Per-cluster composition helpers: a federated deployment runs
+// MinCost.Compose / ComposeDelta over a cluster-local Input, and a
+// federation coordinator stitches the per-cluster execution graphs
+// together at the boundary. These helpers carve the local view out of a
+// flat Input and merge remotely composed fragments back, substream by
+// substream.
+
+// FilterCluster returns in with the candidate lists restricted to hosts
+// of the given cluster. An empty cluster (flat deployment) returns in
+// untouched — including the shared Candidates map — so the non-federated
+// path stays bit-identical to the legacy composer. Service keys whose
+// candidate lists empty out are dropped, so composers report "no hosts
+// offer X" exactly as they would in a deployment that never announced X.
+func FilterCluster(in Input, cluster string) Input {
+	if cluster == "" {
+		return in
+	}
+	local := make(map[string][]Candidate, len(in.Candidates))
+	for svc, cands := range in.Candidates {
+		keep := make([]Candidate, 0, len(cands))
+		for _, c := range cands {
+			if c.Info.Cluster == cluster {
+				keep = append(keep, c)
+			}
+		}
+		if len(keep) > 0 {
+			local[svc] = keep
+		}
+	}
+	in.Candidates = local
+	return in
+}
+
+// SubstreamInput narrows in to substream l alone: the returned Input's
+// request carries a deep-copied single-substream slice, so composers that
+// adjust rates (best-effort admission) never touch the caller's request.
+func SubstreamInput(in Input, l int) Input {
+	sub := in.Request.Substreams[l]
+	in.Request.Substreams = []spec.Substream{sub}
+	return in
+}
+
+// MergeFragment appends a single-substream fragment graph (composed via
+// SubstreamInput, substream index 0) into dst as substream l, re-indexing
+// the fragment's placements and edges. The fragment's possibly-adjusted
+// rate (best-effort admission) is copied into dst's request so CheckGraph
+// and the data plane agree on the admitted rate.
+func MergeFragment(dst *ExecutionGraph, frag *ExecutionGraph, l int) {
+	dst.Request.Substreams[l].Rate = frag.Request.Substreams[0].Rate
+	for _, p := range frag.Placements {
+		p.Substream = l
+		dst.Placements = append(dst.Placements, p)
+	}
+	for _, e := range frag.Edges {
+		e.Substream = l
+		dst.Edges = append(dst.Edges, e)
+	}
+}

@@ -6,11 +6,13 @@ package deploy
 
 import (
 	"math/rand"
+	"strconv"
 	"time"
 
 	"rasc.dev/rasc/internal/clock"
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/federation"
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/netsim"
@@ -22,6 +24,45 @@ import (
 	"rasc.dev/rasc/internal/trace"
 	"rasc.dev/rasc/internal/transport"
 )
+
+// FederationOptions shards a deployment into clusters joined by the
+// federation boundary protocol: node i joins cluster i mod Clusters, the
+// generated topology's sites align with the clusters (inter-cluster hops
+// cross wide-area inter-site latency), full gossip stays intra-cluster,
+// and each cluster's first BorderPeers nodes exchange compact summaries
+// with their counterparts in every other cluster. Federated deployments
+// imply EnableGossip.
+type FederationOptions struct {
+	// Clusters is the number of clusters (required, ≥ 1). One cluster is
+	// the federated-but-alone configuration, pinned bit-identical to the
+	// flat composer.
+	Clusters int
+	// BorderPeers is how many nodes per cluster run the summary exchange
+	// (default 1).
+	BorderPeers int
+	// BoundaryBps is each inter-cluster boundary link's capacity
+	// (default 100 Mbps).
+	BoundaryBps float64
+	// ClusterServices, when set, restricts cluster k's announcements to
+	// ClusterServices[k mod len] — the lever experiments use to force
+	// cross-cluster hand-offs (no single cluster offers every service).
+	ClusterServices [][]string
+}
+
+func (f *FederationOptions) defaults() {
+	if f.Clusters < 1 {
+		f.Clusters = 1
+	}
+	if f.BorderPeers < 1 {
+		f.BorderPeers = 1
+	}
+	if f.BoundaryBps <= 0 {
+		f.BoundaryBps = 1e8
+	}
+}
+
+// ClusterName names cluster k ("c0", "c1", …).
+func ClusterName(k int) string { return "c" + strconv.Itoa(k) }
 
 // SystemOptions configures a full simulated RASC deployment.
 type SystemOptions struct {
@@ -105,6 +146,11 @@ type SystemOptions struct {
 	// deadline, execution shards). The zero value is the legacy per-unit
 	// path, bit-identical to the pre-batching engine.
 	DataPlane stream.DataPlaneConfig
+
+	// Federation, when set, shards the deployment into clusters with
+	// cluster-scoped composers and the inter-cluster boundary protocol.
+	// Implies EnableGossip (summaries ride the gossip border exchange).
+	Federation *FederationOptions
 }
 
 // System is a running simulated deployment: a joined overlay with DHT,
@@ -127,9 +173,21 @@ type System struct {
 	// deployment-wide ring (simulated nodes share the process, so one
 	// journal sees the whole causal story).
 	Journal *trace.Journal
-	// Gate is the cluster-wide admission gate (nil when Options.Tenancy
-	// is unset).
+	// Gate is the deployment-wide admission gate (nil when Options.Tenancy
+	// is unset). Federated deployments run one gate per cluster instead:
+	// Gate aliases cluster 0's and Gates holds them all.
 	Gate *tenant.Gate
+	// Gates holds the per-cluster admission gates of a federated tenancy
+	// deployment, indexed by cluster number (nil otherwise).
+	Gates []*tenant.Gate
+	// Federation holds each node's coordinator (nil when
+	// Options.Federation is unset).
+	Federation []*federation.Coordinator
+	// Ledgers holds each cluster's boundary-capacity arbiter, indexed by
+	// cluster number (nil when Options.Federation is unset).
+	Ledgers []*federation.Ledger
+	// ClusterOf names each node's cluster ("" when unfederated).
+	ClusterOf []string
 }
 
 // NewSystem builds and starts a deployment. After it returns, the overlay
@@ -145,6 +203,28 @@ func NewSystem(opts SystemOptions) *System {
 	names := opts.ServiceNames
 	if names == nil {
 		names = opts.Catalog.Names()
+	}
+	fo := opts.Federation
+	if fo != nil {
+		fo.defaults()
+		// Summaries ride the gossip border exchange, and cluster-scoped
+		// stats need cluster-scoped digests.
+		opts.EnableGossip = true
+		if opts.Topology == nil && fo.Clusters > 1 {
+			// Align sites with clusters (both assign by i mod k), so an
+			// inter-cluster hop crosses wide-area inter-site latency. A
+			// single cluster keeps the default topology — the same one a
+			// flat deployment generates, preserving the equivalence pin.
+			opts.Topology = netsim.PlanetLabTopology(netsim.TopologyConfig{
+				Nodes: opts.Nodes, Sites: fo.Clusters,
+			}, opts.Seed)
+		}
+	}
+	clusterOf := func(i int) int {
+		if fo == nil {
+			return 0
+		}
+		return i % fo.Clusters
 	}
 	simOpts := simnet.Options{
 		N:                opts.Nodes,
@@ -169,8 +249,21 @@ func NewSystem(opts SystemOptions) *System {
 			return ch
 		}
 	}
+	if fo != nil {
+		// Cluster identity must be set before any join: it rides NodeInfo
+		// through the overlay, and gossip scopes membership by it.
+		simOpts.ConfigureNode = func(i int, n *overlay.Node) {
+			n.SetCluster(ClusterName(clusterOf(i)))
+		}
+	}
 	c := simnet.New(simOpts)
 	s := &System{Cluster: c, Options: opts, Chaos: chaosEPs}
+	s.ClusterOf = make([]string, opts.Nodes)
+	if fo != nil {
+		for i := range s.ClusterOf {
+			s.ClusterOf[i] = ClusterName(clusterOf(i))
+		}
+	}
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
 	for i, node := range c.Nodes {
 		store := dht.New(node, c.Clock)
@@ -200,16 +293,20 @@ func NewSystem(opts SystemOptions) *System {
 	// Announce services: each node offers ServicesPerNode services drawn
 	// without replacement, seeded, so the replication degree matches
 	// §4.1 in expectation.
-	perNode := opts.ServicesPerNode
-	if perNode > len(names) {
-		perNode = len(names)
-	}
 	s.Placement = make([][]string, len(c.Nodes))
 	for i, d := range s.Dirs {
-		idx := rng.Perm(len(names))[:perNode]
+		cnames := names
+		if fo != nil && len(fo.ClusterServices) > 0 {
+			cnames = fo.ClusterServices[clusterOf(i)%len(fo.ClusterServices)]
+		}
+		perNode := opts.ServicesPerNode
+		if perNode > len(cnames) {
+			perNode = len(cnames)
+		}
+		idx := rng.Perm(len(cnames))[:perNode]
 		for _, k := range idx {
-			d.Announce(names[k])
-			s.Placement[i] = append(s.Placement[i], names[k])
+			d.Announce(cnames[k])
+			s.Placement[i] = append(s.Placement[i], cnames[k])
 		}
 	}
 	c.Sim.Run()
@@ -220,12 +317,16 @@ func NewSystem(opts SystemOptions) *System {
 	for _, eng := range s.Engines {
 		eng.SetDecisionJournal(s.Journal)
 	}
-	// One shared admission gate fronts every engine's Submit path. The
-	// default budget is half the aggregate access capacity (each streamed
-	// unit crosses an uplink and a downlink) with 10% headroom for
-	// control traffic.
+	// One shared admission gate per cluster fronts the engines' Submit
+	// paths (a flat deployment is one cluster). The default budget is half
+	// the cluster's aggregate access capacity (each streamed unit crosses
+	// an uplink and a downlink) with 10% headroom for control traffic.
+	nClusters := 1
+	if fo != nil {
+		nClusters = fo.Clusters
+	}
 	var nodeShare []float64
-	var sumShare float64
+	clusterShare := make([]float64, nClusters)
 	if opts.Tenancy != nil {
 		nodeShare = make([]float64, opts.Nodes)
 		for i := range c.Nodes {
@@ -234,30 +335,37 @@ func NewSystem(opts SystemOptions) *System {
 			if up < down {
 				nodeShare[i] = up
 			}
-			sumShare += nodeShare[i]
+			clusterShare[clusterOf(i)] += nodeShare[i]
 		}
-		tcfg := *opts.Tenancy
-		if tcfg.CapacityBps <= 0 {
-			tcfg.CapacityBps = 0.9 * sumShare / 2
-		}
-		if tcfg.Clock == nil {
-			tcfg.Clock = c.Clock
-		}
-		if tcfg.Journal == nil {
-			tcfg.Journal = s.Journal
-		}
-		s.Gate = tenant.NewGate(tcfg)
-		if tcfg.PerHostLedger && sumShare > 0 {
-			// Seed the per-host ledger from the topology: each node
-			// carries its proportional slice of the budget, so a death
-			// releases exactly that host's budget and admission probes
-			// track real placement headroom.
-			for i, node := range c.Nodes {
-				s.Gate.UpsertHost(node.Info().ID.String(), tcfg.CapacityBps*nodeShare[i]/sumShare)
+		gates := make([]*tenant.Gate, nClusters)
+		for k := range gates {
+			tcfg := *opts.Tenancy
+			if tcfg.CapacityBps <= 0 {
+				tcfg.CapacityBps = 0.9 * clusterShare[k] / 2
 			}
+			if tcfg.Clock == nil {
+				tcfg.Clock = c.Clock
+			}
+			if tcfg.Journal == nil {
+				tcfg.Journal = s.Journal
+			}
+			gates[k] = tenant.NewGate(tcfg)
 		}
-		for _, eng := range s.Engines {
-			eng.SetTenantGate(s.Gate)
+		for i, node := range c.Nodes {
+			k := clusterOf(i)
+			if gates[k].PerHostLedger() && clusterShare[k] > 0 {
+				// Seed the per-host ledger from the topology — cluster by
+				// cluster: a node only ledgers hosts of its own cluster, so
+				// each node carries its proportional slice of its cluster's
+				// budget, a death releases exactly that host's budget, and
+				// a remote-cluster death never touches the local ledger.
+				gates[k].UpsertHost(node.Info().ID.String(), gates[k].CapacityBps()*nodeShare[i]/clusterShare[k])
+			}
+			s.Engines[i].SetTenantGate(gates[k])
+		}
+		s.Gate = gates[0]
+		if fo != nil {
+			s.Gates = gates
 		}
 	}
 	// Start gossip only after the control plane has quiesced: its loops
@@ -270,34 +378,78 @@ func NewSystem(opts SystemOptions) *System {
 		for _, node := range c.Nodes {
 			roster = append(roster, node.Info())
 		}
-		// The gate's budget shrinks when a member dies: its access-link
-		// contribution is gone, so fair shares must re-settle. Every
-		// node's detector reports the same death; shrink once.
+		// A cluster's gate budget shrinks when one of its members dies:
+		// its access-link contribution is gone, so fair shares must
+		// re-settle. Every node's detector reports the same death; shrink
+		// once, and only the dead node's own cluster — a remote-cluster
+		// death must not release budget it never contributed locally.
 		nodeByID := make(map[overlay.ID]int, len(c.Nodes))
 		for i, node := range c.Nodes {
 			nodeByID[node.Info().ID] = i
+		}
+		gateFor := func(i int) *tenant.Gate {
+			if s.Gates != nil {
+				return s.Gates[clusterOf(i)]
+			}
+			return s.Gate
 		}
 		deadSeen := make(map[overlay.ID]bool)
 		onDead := func(info overlay.NodeInfo) {
 			if s.Gate == nil || deadSeen[info.ID] {
 				return
 			}
-			deadSeen[info.ID] = true
-			if s.Gate.PerHostLedger() {
-				// The ledger knows the dead host's exact budget; RemoveHost
-				// is idempotent, so duplicate detections release it once.
-				s.Gate.RemoveHost(info.ID.String())
+			i, ok := nodeByID[info.ID]
+			if !ok {
 				return
 			}
-			if i, ok := nodeByID[info.ID]; ok && sumShare > 0 {
-				s.Gate.AddCapacity(-s.Gate.CapacityBps() * nodeShare[i] / sumShare)
-				sumShare -= nodeShare[i]
+			deadSeen[info.ID] = true
+			gate := gateFor(i)
+			if gate.PerHostLedger() {
+				// The ledger knows the dead host's exact budget; RemoveHost
+				// is idempotent (and a no-op on gates that never ledgered
+				// the host), so duplicate detections release it once.
+				gate.RemoveHost(info.ID.String())
+				return
+			}
+			k := clusterOf(i)
+			if clusterShare[k] > 0 {
+				gate.AddCapacity(-gate.CapacityBps() * nodeShare[i] / clusterShare[k])
+				clusterShare[k] -= nodeShare[i]
 				nodeShare[i] = 0
 			}
 		}
+		// Border pairing: the j-th border of cluster k exchanges summaries
+		// with the j-th border of every other cluster (clusters smaller
+		// than the border count fall back to their first node).
+		borderPeers := func(i int) []overlay.NodeInfo {
+			k, rank := clusterOf(i), i/fo.Clusters
+			if rank >= fo.BorderPeers {
+				return nil
+			}
+			var peers []overlay.NodeInfo
+			for kk := 0; kk < fo.Clusters; kk++ {
+				if kk == k {
+					continue
+				}
+				idx := kk + rank*fo.Clusters
+				if idx >= opts.Nodes {
+					idx = kk
+				}
+				if idx < opts.Nodes {
+					peers = append(peers, c.Nodes[idx].Info())
+				}
+			}
+			return peers
+		}
 		for i, node := range c.Nodes {
 			gRng := rand.New(rand.NewSource(opts.Seed*9_999_991 + int64(i)))
-			g := gossip.New(node, c.Clock, gRng, opts.Gossip)
+			gcfg := opts.Gossip
+			if fo != nil {
+				gcfg.Cluster = ClusterName(clusterOf(i))
+				gcfg.BoundaryBps = fo.BoundaryBps
+				gcfg.BorderPeers = borderPeers(i)
+			}
+			g := gossip.New(node, c.Clock, gRng, gcfg)
 			dir, eng, n := s.Dirs[i], s.Engines[i], node
 			g.SetDigestFunc(func() gossip.Digest {
 				return gossip.Digest{
@@ -315,6 +467,17 @@ func NewSystem(opts SystemOptions) *System {
 			g.OnDigest(func(info overlay.NodeInfo, rep monitor.Report) {
 				eng.ObserveHostReport(info.ID, rep)
 			})
+			if fo != nil {
+				// Summary TTL expiry is detected at the border; fan the
+				// remote_candidate_lost signal out to the cluster's engines
+				// (the in-process stand-in for an intra-cluster broadcast).
+				k := clusterOf(i)
+				g.OnSummaryLost(func(cluster string) {
+					for j := k; j < opts.Nodes; j += fo.Clusters {
+						s.Engines[j].OnRemoteClusterLost(cluster)
+					}
+				})
+			}
 			dir.SetView(g)
 			eng.SetStatsProvider(g.ReportFor)
 			g.Seed(roster)
@@ -322,6 +485,38 @@ func NewSystem(opts SystemOptions) *System {
 		}
 		for _, g := range s.Gossip {
 			g.Start()
+		}
+	}
+	// Federation: one boundary ledger per cluster (the arbiter all the
+	// cluster's solves reserve against), every inter-cluster link granted
+	// its capacity on both endpoint ledgers, and a coordinator on every
+	// node. Non-border nodes read remote summaries from their cluster's
+	// first border — in-process in the simulator, a dissemination hop in a
+	// live deployment.
+	if fo != nil {
+		s.Ledgers = make([]*federation.Ledger, fo.Clusters)
+		for k := range s.Ledgers {
+			s.Ledgers[k] = federation.NewLedger()
+		}
+		for a := 0; a < fo.Clusters; a++ {
+			for b := a + 1; b < fo.Clusters; b++ {
+				s.Ledgers[a].SetLink(ClusterName(a), ClusterName(b), fo.BoundaryBps)
+				s.Ledgers[b].SetLink(ClusterName(a), ClusterName(b), fo.BoundaryBps)
+			}
+		}
+		s.Federation = make([]*federation.Coordinator, opts.Nodes)
+		for i, node := range c.Nodes {
+			k := clusterOf(i)
+			border := s.Gossip[k] // cluster k's first border is node k (k ≤ i < Nodes)
+			coord := federation.New(federation.Config{
+				Cluster:      ClusterName(k),
+				Node:         node,
+				Ledger:       s.Ledgers[k],
+				Summaries:    border.Summaries,
+				LocalSummary: s.Gossip[i].LocalSummary,
+			})
+			s.Engines[i].SetFederation(coord)
+			s.Federation[i] = coord
 		}
 	}
 	// Enable adaptation only after the deployment has quiesced: the check

@@ -1,0 +1,510 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/gossip"
+	"rasc.dev/rasc/internal/monitor"
+	"rasc.dev/rasc/internal/overlay"
+	"rasc.dev/rasc/internal/spec"
+	"rasc.dev/rasc/internal/transport"
+)
+
+// Overlay RPC application names of the boundary protocol.
+const (
+	appQuery   = "fed.query"
+	appHandoff = "fed.handoff"
+	appRelease = "fed.release"
+)
+
+// Config wires a Coordinator to its node.
+type Config struct {
+	// Cluster is the local cluster's name.
+	Cluster string
+	// Node carries the boundary protocol's RPCs.
+	Node *overlay.Node
+	// Ledger is the cluster's boundary-capacity arbiter (shared by the
+	// cluster's nodes in the simulator, border-local in a live node).
+	Ledger *Ledger
+	// Summaries supplies the freshest remote cluster summaries (from the
+	// local or the cluster border's gossip instance).
+	Summaries func() []gossip.ClusterSummary
+	// LocalSummary answers remote discovery queries with this cluster's
+	// own aggregate view.
+	LocalSummary func() gossip.ClusterSummary
+	// RPCTimeout bounds each boundary RPC (default 5s).
+	RPCTimeout time.Duration
+}
+
+// HandoffRequest is the cross-boundary hand-off payload: everything the
+// remote cluster needs to compose one substream locally on the origin's
+// behalf. The request carries exactly one substream.
+type HandoffRequest struct {
+	App     string       `json:"app"`
+	Request spec.Request `json:"request"`
+	// Substream is the index the fragment will occupy in the stitched
+	// graph (informational; the fragment itself is indexed 0).
+	Substream int `json:"substream"`
+	// Source and Dest are the origin-side endpoints; the remote composer
+	// builds its flow graph between them so the stitched fragment passes
+	// flow conservation end to end.
+	Source       overlay.NodeInfo `json:"source"`
+	Dest         overlay.NodeInfo `json:"dest"`
+	SourceReport monitor.Report   `json:"sourceReport"`
+	DestReport   monitor.Report   `json:"destReport"`
+	FromCluster  string           `json:"fromCluster"`
+	// DebitBps is the boundary-link debit both sides account.
+	DebitBps float64 `json:"debitBps"`
+	// Composer names the composition algorithm to run remotely.
+	Composer string `json:"composer"`
+}
+
+// handoffReply returns the remotely composed fragment and the remote
+// side's boundary credit (released via fed.release at teardown).
+type handoffReply struct {
+	Graph    *core.ExecutionGraph `json:"graph"`
+	CreditID CreditID             `json:"creditId"`
+	Cluster  string               `json:"cluster"`
+}
+
+// queryMsg asks "which cluster can host this service chain at this
+// rate?" — the QueryStream-style discovery probe sent to a remote border
+// before any capacity is reserved.
+type queryMsg struct {
+	App       string   `json:"app"`
+	Services  []string `json:"services"`
+	RateUnits int      `json:"rateUnits"`
+	UnitBytes int      `json:"unitBytes"`
+}
+
+// queryReply is a remote border's answer.
+type queryReply struct {
+	OK          bool    `json:"ok"`
+	Cluster     string  `json:"cluster"`
+	HeadroomBps float64 `json:"headroomBps"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+// releaseMsg refunds remote boundary credits after a teardown or a
+// failed instantiation.
+type releaseMsg struct {
+	Credits []CreditID `json:"credits"`
+}
+
+// HandoffRef is one completed hand-off's accounting trail: the local and
+// remote boundary credits that a teardown must refund.
+type HandoffRef struct {
+	App           string         `json:"app"`
+	Substream     int            `json:"substream"`
+	RemoteCluster string         `json:"remoteCluster"`
+	RemoteAddr    transport.Addr `json:"remoteAddr"`
+	DebitBps      float64        `json:"debitBps"`
+	LocalCredit   CreditID       `json:"localCredit"`
+	RemoteCredit  CreditID       `json:"remoteCredit"`
+}
+
+// Stats counts the coordinator's boundary activity.
+type Stats struct {
+	QueriesSent       int64 `json:"queriesSent"`
+	QueriesServed     int64 `json:"queriesServed"`
+	HandoffsOK        int64 `json:"handoffsOk"`
+	HandoffsFailed    int64 `json:"handoffsFailed"`
+	HandoffsSaturated int64 `json:"handoffsSaturated"`
+	RemoteComposes    int64 `json:"remoteComposes"`
+}
+
+// ComposeFunc is the engine-side callback a coordinator invokes to
+// compose a handed-off substream against the local cluster's state. done
+// must be called exactly once (from the node's goroutine).
+type ComposeFunc func(req HandoffRequest, done func(*core.ExecutionGraph, error))
+
+// Coordinator runs one node's side of the federation protocol: origin
+// side, it stitches per-cluster fragments into one execution graph;
+// remote side, it answers discovery queries and hand-off handshakes.
+// Like the rest of the protocol stack it is not internally synchronized
+// (the Ledger is the exception): all methods run on the node's goroutine.
+type Coordinator struct {
+	cfg     Config
+	compose ComposeFunc
+
+	onSaturated []func(app, link string)
+
+	// handoffs tracks committed cross-cluster hand-offs by request ID so
+	// teardown refunds every credit.
+	handoffs map[string][]HandoffRef
+	stats    Stats
+}
+
+// New attaches a coordinator to its node and registers the boundary
+// protocol's RPC handlers.
+func New(cfg Config) *Coordinator {
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 5 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, handoffs: make(map[string][]HandoffRef)}
+	cfg.Node.RegisterRequest(appQuery, c.onQuery)
+	cfg.Node.RegisterRequest(appHandoff, c.onHandoff)
+	cfg.Node.RegisterRequest(appRelease, c.onRelease)
+	return c
+}
+
+// Cluster returns the local cluster name.
+func (c *Coordinator) Cluster() string { return c.cfg.Cluster }
+
+// Ledger returns the cluster's boundary ledger.
+func (c *Coordinator) Ledger() *Ledger { return c.cfg.Ledger }
+
+// Stats returns the coordinator's activity counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// SetComposeFunc installs the engine's local-compose callback (the
+// remote side of a hand-off handshake).
+func (c *Coordinator) SetComposeFunc(fn ComposeFunc) { c.compose = fn }
+
+// OnBoundarySaturated registers a callback fired when a hand-off could
+// not reserve boundary capacity — the control plane's
+// boundary_link_saturated trigger.
+func (c *Coordinator) OnBoundarySaturated(fn func(app, link string)) {
+	c.onSaturated = append(c.onSaturated, fn)
+}
+
+// Handoffs lists the committed cross-cluster hand-offs, sorted by app
+// then substream.
+func (c *Coordinator) Handoffs() []HandoffRef {
+	var out []HandoffRef
+	for _, refs := range c.handoffs {
+		out = append(out, refs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Substream < out[j].Substream
+	})
+	return out
+}
+
+// LinkName canonicalizes a cluster pair to the ledger's link key.
+func LinkName(a, b string) string { return linkKey(a, b) }
+
+// debitBps is the boundary-link debit of handing one substream across a
+// boundary: the stream crosses twice (origin→remote cluster, remote
+// cluster→destination).
+func debitBps(rateUnits, unitBytes int) float64 {
+	return 2 * float64(rateUnits) * float64(unitBytes) * 8
+}
+
+// candidate is one remote cluster ranked for a hand-off.
+type candidate struct {
+	cluster     string
+	border      overlay.NodeInfo
+	headroomBps float64
+}
+
+// ComposeFederated places a request substream by substream: each
+// substream composes inside the local cluster when it can, and is handed
+// off to the best-answering remote cluster when it cannot. localErr is
+// the flat local composition's failure; when no remote candidate answers
+// (or none accepts), the coordinator falls back to local-only semantics
+// and reports that original error. done is called exactly once on the
+// node's goroutine.
+func (c *Coordinator) ComposeFederated(in core.Input, composer core.Composer, localErr error, done func(*core.ExecutionGraph, error)) {
+	g := &core.ExecutionGraph{
+		Request:  in.Request,
+		Composer: "federated+" + composer.Name(),
+		Source:   in.Source,
+		Dest:     in.Dest,
+	}
+	// Fragment merging adjusts per-substream rates; never through the
+	// caller's slice.
+	g.Request.Substreams = append([]spec.Substream(nil), in.Request.Substreams...)
+
+	var refs []HandoffRef
+	fail := func(err error) {
+		for _, ref := range refs {
+			c.cfg.Ledger.Release(ref.LocalCredit)
+			c.releaseRemote(ref)
+		}
+		done(nil, err)
+	}
+
+	var place func(l int)
+	place = func(l int) {
+		if l == len(g.Request.Substreams) {
+			if len(refs) > 0 {
+				c.handoffs[g.Request.ID] = append(c.handoffs[g.Request.ID], refs...)
+			}
+			done(g, nil)
+			return
+		}
+		frag, err := composer.Compose(core.SubstreamInput(in, l))
+		if err == nil {
+			core.MergeFragment(g, frag, l)
+			place(l + 1)
+			return
+		}
+		if !errors.Is(err, core.ErrNoFeasiblePlacement) {
+			fail(err)
+			return
+		}
+		c.discover(in, l, func(cands []candidate) {
+			var try func(i int)
+			try = func(i int) {
+				if i == len(cands) {
+					fail(localErr)
+					return
+				}
+				c.handoff(in, l, composer.Name(), cands[i], func(frag *core.ExecutionGraph, ref HandoffRef, err error) {
+					if err != nil {
+						try(i + 1)
+						return
+					}
+					core.MergeFragment(g, frag, l)
+					refs = append(refs, ref)
+					place(l + 1)
+				})
+			}
+			try(0)
+		})
+	}
+	place(0)
+}
+
+// discover queries every remote cluster whose summary exports the
+// substream's whole service chain, and ranks the positive answers by
+// advertised headroom (ties to the lexicographically first cluster).
+func (c *Coordinator) discover(in core.Input, l int, done func([]candidate)) {
+	chain := in.Request.Substreams[l].Services
+	var pool []gossip.ClusterSummary
+	for _, s := range c.cfg.Summaries() {
+		offersAll := true
+		for _, svc := range chain {
+			if !s.Offers(svc) {
+				offersAll = false
+				break
+			}
+		}
+		if offersAll {
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) == 0 {
+		done(nil)
+		return
+	}
+	q := c.encode(queryMsg{
+		App:       in.Request.ID,
+		Services:  chain,
+		RateUnits: in.Request.Substreams[l].Rate,
+		UnitBytes: in.Request.UnitBytes,
+	})
+	var cands []candidate
+	remaining := len(pool)
+	for _, s := range pool {
+		s := s
+		telQuerySent.Inc()
+		c.stats.QueriesSent++
+		c.cfg.Node.Request(s.Border.Addr, appQuery, q, c.cfg.RPCTimeout, func(resp []byte, err error) {
+			if err == nil {
+				var r queryReply
+				if json.Unmarshal(resp, &r) == nil && r.OK {
+					cands = append(cands, candidate{cluster: r.Cluster, border: s.Border, headroomBps: r.HeadroomBps})
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				sort.Slice(cands, func(i, j int) bool {
+					if cands[i].headroomBps != cands[j].headroomBps {
+						return cands[i].headroomBps > cands[j].headroomBps
+					}
+					return cands[i].cluster < cands[j].cluster
+				})
+				done(cands)
+			}
+		})
+	}
+}
+
+// handoff reserves boundary capacity and runs the hand-off handshake
+// with one remote cluster. A reservation or handshake failure refunds
+// the local credit (exactly once) before reporting the error.
+func (c *Coordinator) handoff(in core.Input, l int, composer string, cand candidate, done func(*core.ExecutionGraph, HandoffRef, error)) {
+	sub := in.Request.Substreams[l]
+	debit := debitBps(sub.Rate, in.Request.UnitBytes)
+	localCredit, err := c.cfg.Ledger.Reserve(c.cfg.Cluster, cand.cluster, debit)
+	if err != nil {
+		c.stats.HandoffsSaturated++
+		telHandoffSaturated.Inc()
+		link := LinkName(c.cfg.Cluster, cand.cluster)
+		for _, fn := range c.onSaturated {
+			fn(in.Request.ID, link)
+		}
+		done(nil, HandoffRef{}, err)
+		return
+	}
+	single := core.SubstreamInput(in, l)
+	msg := HandoffRequest{
+		App:          in.Request.ID,
+		Request:      single.Request,
+		Substream:    l,
+		Source:       in.Source,
+		Dest:         in.Dest,
+		SourceReport: in.SourceReport,
+		DestReport:   in.DestReport,
+		FromCluster:  c.cfg.Cluster,
+		DebitBps:     debit,
+		Composer:     composer,
+	}
+	c.cfg.Node.Request(cand.border.Addr, appHandoff, c.encode(msg), c.cfg.RPCTimeout, func(resp []byte, err error) {
+		if err != nil {
+			c.cfg.Ledger.Release(localCredit)
+			c.stats.HandoffsFailed++
+			telHandoffFailed.Inc()
+			done(nil, HandoffRef{}, err)
+			return
+		}
+		var r handoffReply
+		if uerr := json.Unmarshal(resp, &r); uerr != nil || r.Graph == nil {
+			c.cfg.Ledger.Release(localCredit)
+			c.stats.HandoffsFailed++
+			telHandoffFailed.Inc()
+			done(nil, HandoffRef{}, fmt.Errorf("federation: bad hand-off reply from %s", cand.cluster))
+			return
+		}
+		c.stats.HandoffsOK++
+		telHandoffOK.Inc()
+		done(r.Graph, HandoffRef{
+			App:           in.Request.ID,
+			Substream:     l,
+			RemoteCluster: r.Cluster,
+			RemoteAddr:    cand.border.Addr,
+			DebitBps:      debit,
+			LocalCredit:   localCredit,
+			RemoteCredit:  r.CreditID,
+		}, nil)
+	})
+}
+
+// ReleaseApp refunds every boundary credit held for a request: the local
+// ledger synchronously, the remote clusters via fire-and-forget
+// fed.release RPCs. Safe to call for requests without hand-offs, and
+// idempotent — the ledger refunds each credit exactly once.
+func (c *Coordinator) ReleaseApp(reqID string) {
+	refs := c.handoffs[reqID]
+	if len(refs) == 0 {
+		return
+	}
+	delete(c.handoffs, reqID)
+	for _, ref := range refs {
+		c.cfg.Ledger.Release(ref.LocalCredit)
+		c.releaseRemote(ref)
+	}
+}
+
+// releaseRemote refunds one hand-off's remote-side credit.
+func (c *Coordinator) releaseRemote(ref HandoffRef) {
+	if ref.RemoteCredit == 0 || ref.RemoteAddr == "" {
+		return
+	}
+	body := c.encode(releaseMsg{Credits: []CreditID{ref.RemoteCredit}})
+	c.cfg.Node.Request(ref.RemoteAddr, appRelease, body, c.cfg.RPCTimeout, func([]byte, error) {})
+}
+
+// onQuery answers a remote cluster's discovery probe from the local
+// cluster summary: can this cluster host the chain at the rate?
+func (c *Coordinator) onQuery(_ overlay.NodeInfo, body []byte, respond func([]byte, string)) {
+	var q queryMsg
+	if err := json.Unmarshal(body, &q); err != nil {
+		respond(nil, "federation: bad query: "+err.Error())
+		return
+	}
+	c.stats.QueriesServed++
+	telQueryServed.Inc()
+	r := queryReply{Cluster: c.cfg.Cluster}
+	if c.cfg.LocalSummary == nil {
+		respond(c.encode(r), "")
+		return
+	}
+	s := c.cfg.LocalSummary()
+	for _, svc := range q.Services {
+		if !s.Offers(svc) {
+			r.Reason = "service " + svc + " not offered"
+			respond(c.encode(r), "")
+			return
+		}
+	}
+	need := float64(q.RateUnits) * float64(q.UnitBytes) * 8
+	headroom := s.AggAvailOutBps
+	if s.AggAvailInBps < headroom {
+		headroom = s.AggAvailInBps
+	}
+	if headroom < need {
+		r.Reason = "insufficient headroom"
+		respond(c.encode(r), "")
+		return
+	}
+	r.OK = true
+	r.HeadroomBps = headroom
+	respond(c.encode(r), "")
+}
+
+// onHandoff runs the remote side of the handshake: reserve the inbound
+// boundary debit on this cluster's ledger, compose the substream against
+// local state, and return the fragment with the credit to refund it by.
+// A failed compose refunds the reservation before answering.
+func (c *Coordinator) onHandoff(_ overlay.NodeInfo, body []byte, respond func([]byte, string)) {
+	var h HandoffRequest
+	if err := json.Unmarshal(body, &h); err != nil {
+		respond(nil, "federation: bad hand-off: "+err.Error())
+		return
+	}
+	if c.compose == nil {
+		respond(nil, "federation: node does not accept hand-offs")
+		return
+	}
+	credit, err := c.cfg.Ledger.Reserve(h.FromCluster, c.cfg.Cluster, h.DebitBps)
+	if err != nil {
+		link := LinkName(h.FromCluster, c.cfg.Cluster)
+		for _, fn := range c.onSaturated {
+			fn(h.App, link)
+		}
+		respond(nil, err.Error())
+		return
+	}
+	c.compose(h, func(g *core.ExecutionGraph, err error) {
+		if err != nil {
+			c.cfg.Ledger.Release(credit)
+			respond(nil, err.Error())
+			return
+		}
+		c.stats.RemoteComposes++
+		telRemoteComposes.Inc()
+		respond(c.encode(handoffReply{Graph: g, CreditID: credit, Cluster: c.cfg.Cluster}), "")
+	})
+}
+
+// onRelease refunds remote-held credits after the origin's teardown.
+func (c *Coordinator) onRelease(_ overlay.NodeInfo, body []byte, respond func([]byte, string)) {
+	var m releaseMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		respond(nil, "federation: bad release: "+err.Error())
+		return
+	}
+	for _, id := range m.Credits {
+		c.cfg.Ledger.Release(id)
+	}
+	respond(nil, "")
+}
+
+func (c *Coordinator) encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("federation: marshal: " + err.Error()) // protocol types are always marshalable
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+// Package federation joins cluster-scoped composers into one system: a
+// coordinator on every node discovers remote candidate clusters through
+// border summaries and QueryStream-style probes, hands substreams across
+// a cluster boundary with a reserve/compose/commit handshake, and keeps
+// cross-cluster rate splitting consistent by crediting and debiting
+// boundary-link capacity through a Ledger. Composition inside a cluster
+// is untouched — a single-cluster deployment composes bit-identically to
+// the flat MinCost composer.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrBoundarySaturated is returned by Reserve when a hand-off's debit
+// would push a boundary link past its capacity.
+var ErrBoundarySaturated = errors.New("federation: boundary link saturated")
+
+// CreditID names one boundary-capacity reservation.
+type CreditID uint64
+
+// boundaryLink is the accounting state of one inter-cluster link. The
+// link is undirected: both clusters draw on the same capacity, matching
+// a shared wide-area pipe.
+type boundaryLink struct {
+	key         string
+	capacityBps float64
+	reservedBps float64
+	credits     int
+}
+
+// credit is one outstanding reservation.
+type credit struct {
+	link *boundaryLink
+	bps  float64
+}
+
+// Ledger is the credit/debit account of boundary-link capacity. Each
+// cluster runs one arbiter ledger (at its border in a live deployment;
+// shared by the cluster's nodes in the simulator), so concurrent
+// per-cluster solves reserve against one consistent view and can never
+// oversubscribe a link. Reserve atomically checks-and-debits; Release
+// refunds exactly once, no matter how many times a failure path retries
+// it. Unlike most of the protocol stack the Ledger is internally
+// synchronized: solves on different nodes of a cluster share it.
+type Ledger struct {
+	mu      sync.Mutex
+	nextID  CreditID
+	links   map[string]*boundaryLink
+	credits map[CreditID]*credit
+}
+
+// NewLedger returns an empty ledger. Links without a configured capacity
+// reject every reservation — capacity must be granted explicitly with
+// SetLink.
+func NewLedger() *Ledger {
+	return &Ledger{
+		links:   make(map[string]*boundaryLink),
+		credits: make(map[CreditID]*credit),
+	}
+}
+
+// linkKey canonicalizes an unordered cluster pair.
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// SetLink grants the boundary link between clusters a and b the given
+// capacity. Reservations already held are kept even if the new capacity
+// is below the reserved total (they drain as hand-offs are released).
+func (l *Ledger) SetLink(a, b string, capacityBps float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := linkKey(a, b)
+	link, ok := l.links[key]
+	if !ok {
+		link = &boundaryLink{key: key}
+		l.links[key] = link
+	}
+	link.capacityBps = capacityBps
+}
+
+// Reserve debits bps of the a↔b boundary link and returns the credit to
+// release it with. It fails with ErrBoundarySaturated when the link's
+// reserved total would exceed its capacity (or no capacity was granted).
+func (l *Ledger) Reserve(a, b string, bps float64) (CreditID, error) {
+	if bps <= 0 {
+		return 0, fmt.Errorf("federation: reserve %v bps on %s: rate must be positive", bps, linkKey(a, b))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	link, ok := l.links[linkKey(a, b)]
+	if !ok || link.reservedBps+bps > link.capacityBps {
+		telSaturated.Inc()
+		return 0, fmt.Errorf("%w: %s", ErrBoundarySaturated, linkKey(a, b))
+	}
+	link.reservedBps += bps
+	link.credits++
+	l.nextID++
+	id := l.nextID
+	l.credits[id] = &credit{link: link, bps: bps}
+	telReservedBps.Add(bps)
+	telCreditsActive.Inc()
+	return id, nil
+}
+
+// Release refunds a reservation. It reports whether the credit was still
+// outstanding: releasing twice (a failed hand-off retried by two error
+// paths) refunds exactly once.
+func (l *Ledger) Release(id CreditID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.credits[id]
+	if !ok {
+		return false
+	}
+	delete(l.credits, id)
+	c.link.reservedBps -= c.bps
+	c.link.credits--
+	telReservedBps.Add(-c.bps)
+	telCreditsActive.Dec()
+	return true
+}
+
+// LinkUsage is one boundary link's accounting snapshot.
+type LinkUsage struct {
+	// Link is the canonical "a|b" cluster pair.
+	Link        string  `json:"link"`
+	CapacityBps float64 `json:"capacityBps"`
+	ReservedBps float64 `json:"reservedBps"`
+	// Credits is the number of outstanding reservations.
+	Credits int `json:"credits"`
+}
+
+// Usage snapshots every configured boundary link, sorted by link key.
+func (l *Ledger) Usage() []LinkUsage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LinkUsage, 0, len(l.links))
+	for _, link := range l.links {
+		out = append(out, LinkUsage{
+			Link:        link.key,
+			CapacityBps: link.capacityBps,
+			ReservedBps: link.reservedBps,
+			Credits:     link.credits,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}

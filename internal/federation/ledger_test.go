@@ -1,0 +1,133 @@
+package federation
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLedgerReserveAndRelease covers the sequential contract: debits
+// accumulate, saturation rejects, releases refund.
+func TestLedgerReserveAndRelease(t *testing.T) {
+	l := NewLedger()
+	l.SetLink("c0", "c1", 100)
+	id1, err := l.Reserve("c0", "c1", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve normalizes the pair order: c1→c0 draws on the same link.
+	if _, err := l.Reserve("c1", "c0", 50); !errors.Is(err, ErrBoundarySaturated) {
+		t.Fatalf("oversubscribing reserve: err = %v, want ErrBoundarySaturated", err)
+	}
+	id2, err := l.Reserve("c1", "c0", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := l.Usage()
+	if len(u) != 1 || u[0].ReservedBps != 100 || u[0].Credits != 2 {
+		t.Fatalf("usage = %+v, want one link fully reserved with 2 credits", u)
+	}
+	if _, err := l.Reserve("c0", "c2", 1); !errors.Is(err, ErrBoundarySaturated) {
+		t.Fatalf("reserve on an unconfigured link: err = %v, want ErrBoundarySaturated", err)
+	}
+	if _, err := l.Reserve("c0", "c1", 0); err == nil {
+		t.Fatal("reserve of 0 bps succeeded")
+	}
+	l.Release(id1)
+	l.Release(id2)
+	u = l.Usage()
+	if u[0].ReservedBps != 0 || u[0].Credits != 0 {
+		t.Fatalf("usage after releases = %+v, want empty link", u)
+	}
+}
+
+// TestLedgerConcurrentSolvesNeverOversubscribe is the consistency
+// property behind concurrent per-cluster solves (run it with -race):
+// goroutines hammer one boundary link with reserves and releases while
+// auditors snapshot it, and at no observable moment may the reserved
+// total exceed capacity. Everything released at the end must leave the
+// link at exactly zero.
+func TestLedgerConcurrentSolvesNeverOversubscribe(t *testing.T) {
+	const capacityBps = 1000.0
+	l := NewLedger()
+	l.SetLink("c0", "c1", capacityBps)
+	l.SetLink("c0", "c2", capacityBps)
+	var wg sync.WaitGroup
+	const workers, iters = 8, 400
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			remote := "c1"
+			if w%2 == 1 {
+				remote = "c2"
+			}
+			var held []CreditID
+			for i := 0; i < iters; i++ {
+				if id, err := l.Reserve("c0", remote, 1+rng.Float64()*60); err == nil {
+					held = append(held, id)
+				}
+				for _, u := range l.Usage() {
+					if u.ReservedBps > u.CapacityBps+1e-6 {
+						t.Errorf("link %s oversubscribed: %.3f of %.3f bps", u.Link, u.ReservedBps, u.CapacityBps)
+					}
+					if u.Credits < 0 {
+						t.Errorf("link %s has negative credits: %d", u.Link, u.Credits)
+					}
+				}
+				if len(held) > 0 && rng.Intn(2) == 0 {
+					id := held[len(held)-1]
+					held = held[:len(held)-1]
+					if !l.Release(id) {
+						t.Errorf("live credit %d refused release", id)
+					}
+				}
+			}
+			for _, id := range held {
+				l.Release(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, u := range l.Usage() {
+		if u.Credits != 0 || u.ReservedBps > 1e-6 || u.ReservedBps < -1e-6 {
+			t.Fatalf("link %s not fully refunded: %+v", u.Link, u)
+		}
+	}
+}
+
+// TestLedgerFailedHandoffRefundsExactlyOnce pins the exactly-once refund
+// a failed hand-off relies on: its error paths may all race to release
+// the same credit, and precisely one must win — the link balance moves
+// by one debit, not several.
+func TestLedgerFailedHandoffRefundsExactlyOnce(t *testing.T) {
+	l := NewLedger()
+	l.SetLink("c0", "c1", 1000)
+	for round := 0; round < 200; round++ {
+		id, err := l.Reserve("c0", "c1", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refunds int32
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if l.Release(id) {
+					atomic.AddInt32(&refunds, 1)
+				}
+			}()
+		}
+		wg.Wait()
+		if refunds != 1 {
+			t.Fatalf("round %d: credit refunded %d times, want exactly once", round, refunds)
+		}
+	}
+	if u := l.Usage(); u[0].ReservedBps != 0 || u[0].Credits != 0 {
+		t.Fatalf("link drifted after double-release storm: %+v", u[0])
+	}
+}

@@ -1,0 +1,39 @@
+package federation
+
+import "rasc.dev/rasc/internal/telemetry"
+
+// Runtime telemetry for the federation layer (metric catalogue
+// rasc_federation_*). Counters aggregate over every coordinator and
+// ledger in the process: one per node in a live deployment, all
+// simulated nodes in an experiment.
+var (
+	telQueries = telemetry.Default().CounterVec(
+		"rasc_federation_queries_total",
+		"Cross-cluster candidate discovery probes, by role.",
+		"role")
+	telHandoffs = telemetry.Default().CounterVec(
+		"rasc_federation_handoffs_total",
+		"Substream hand-offs across a cluster boundary, by result.",
+		"result")
+	telRemoteComposes = telemetry.Default().Counter(
+		"rasc_federation_remote_composes_total",
+		"Substreams composed locally on behalf of a remote cluster.")
+	telSaturated = telemetry.Default().Counter(
+		"rasc_federation_boundary_saturated_total",
+		"Reservations rejected because a boundary link was at capacity.")
+	telReservedBps = telemetry.Default().Gauge(
+		"rasc_federation_boundary_reserved_bps",
+		"Boundary-link capacity currently reserved, summed over links.")
+	telCreditsActive = telemetry.Default().Gauge(
+		"rasc_federation_credits_active",
+		"Outstanding boundary-capacity reservations.")
+
+	// Pre-resolved handles: eager registration makes every series
+	// visible at 0 on /metrics.
+	telQuerySent   = telQueries.With("sent")
+	telQueryServed = telQueries.With("served")
+
+	telHandoffOK        = telHandoffs.With("ok")
+	telHandoffFailed    = telHandoffs.With("failed")
+	telHandoffSaturated = telHandoffs.With("saturated")
+)

@@ -1,0 +1,73 @@
+package federation
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rasc.dev/rasc/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFederationMetricsCatalogue pins the rasc_federation_* family
+// catalogue (# HELP / # TYPE lines) exposed on /metrics. Values are
+// process-global and order-dependent across tests, so the golden captures
+// the catalogue, not samples.
+func TestFederationMetricsCatalogue(t *testing.T) {
+	// Touch every family: a reserve, a release and a saturated reserve.
+	l := NewLedger()
+	l.SetLink("gold0", "gold1", 10)
+	id, err := l.Reserve("gold0", "gold1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Reserve("gold0", "gold1", 1); err == nil {
+		t.Fatal("saturated reserve succeeded")
+	}
+	l.Release(id)
+
+	var got strings.Builder
+	for _, line := range strings.Split(telemetry.Default().String(), "\n") {
+		if strings.HasPrefix(line, "# HELP rasc_federation_") || strings.HasPrefix(line, "# TYPE rasc_federation_") {
+			got.WriteString(line)
+			got.WriteString("\n")
+		}
+	}
+	path := filepath.Join("testdata", "federation_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("federation catalogue mismatch\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+
+	// The pre-resolved series themselves must be present with labels.
+	exp := telemetry.Default().String()
+	for _, series := range []string{
+		`rasc_federation_queries_total{role="sent"}`,
+		`rasc_federation_queries_total{role="served"}`,
+		`rasc_federation_handoffs_total{result="ok"}`,
+		`rasc_federation_handoffs_total{result="failed"}`,
+		`rasc_federation_handoffs_total{result="saturated"}`,
+		"rasc_federation_remote_composes_total",
+		"rasc_federation_boundary_saturated_total",
+		"rasc_federation_boundary_reserved_bps",
+		"rasc_federation_credits_active",
+	} {
+		if !strings.Contains(exp, series) {
+			t.Errorf("/metrics missing series %q", series)
+		}
+	}
+}

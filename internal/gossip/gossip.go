@@ -131,6 +131,24 @@ type Config struct {
 	// DeadRetention is how long a dead entry is remembered before it may
 	// rejoin at incarnation 0 (default 20×SuspicionTimeout).
 	DeadRetention time.Duration
+	// Cluster scopes the protocol to one federation cluster: members of
+	// other clusters are never seeded, probed or merged from piggybacked
+	// updates, so full digests stay intra-cluster. Empty (the default)
+	// keeps the flat, unscoped protocol.
+	Cluster string
+	// BorderPeers are remote-cluster border nodes this node exchanges
+	// compact cluster summaries with (only border nodes set it). Ignored
+	// when Cluster is empty.
+	BorderPeers []overlay.NodeInfo
+	// SummaryInterval is the period of the border summary exchange
+	// (default 2×ProbeInterval).
+	SummaryInterval time.Duration
+	// SummaryTTL is how long a remote cluster summary stays fresh before
+	// it expires and OnSummaryLost fires (default 5×SummaryInterval).
+	SummaryTTL time.Duration
+	// BoundaryBps is the boundary-link capacity this cluster advertises
+	// in its summaries (informational; the federation ledger enforces it).
+	BoundaryBps float64
 }
 
 func (c *Config) defaults() {
@@ -160,6 +178,12 @@ func (c *Config) defaults() {
 	}
 	if c.DeadRetention <= 0 {
 		c.DeadRetention = 20 * c.SuspicionTimeout
+	}
+	if c.SummaryInterval <= 0 {
+		c.SummaryInterval = 2 * c.ProbeInterval
+	}
+	if c.SummaryTTL <= 0 {
+		c.SummaryTTL = 5 * c.SummaryInterval
 	}
 }
 
@@ -221,6 +245,13 @@ type Gossip struct {
 	onJoin      []func(overlay.NodeInfo)
 	onDigest    []func(overlay.NodeInfo, monitor.Report)
 
+	// Border summary exchange state (cluster-scoped instances only).
+	summaryVersion uint64
+	summaries      map[string]*remoteSummary
+	onSummary      []func(ClusterSummary)
+	onSummaryLost  []func(string)
+	summaryCancel  func()
+
 	rounds      int64
 	syncs       int64
 	probeCancel func()
@@ -239,8 +270,9 @@ func New(node *overlay.Node, clk clock.Clock, rng *rand.Rand, cfg Config) *Gossi
 		clk:     clk,
 		rng:     rng,
 		cfg:     cfg,
-		members: make(map[overlay.ID]*member),
-		queue:   make(map[overlay.ID]*queued),
+		members:   make(map[overlay.ID]*member),
+		queue:     make(map[overlay.ID]*queued),
+		summaries: make(map[string]*remoteSummary),
 	}
 	g.members[node.ID()] = &member{Member: Member{
 		Info:  node.Info(),
@@ -249,7 +281,14 @@ func New(node *overlay.Node, clk clock.Clock, rng *rand.Rand, cfg Config) *Gossi
 	node.RegisterRequest(appPing, g.onPing)
 	node.RegisterRequest(appPingReq, g.onPingReq)
 	node.RegisterRequest(appSync, g.onSync)
+	node.RegisterRequest(appSummary, g.onSummaryExchange)
 	return g
+}
+
+// foreign reports whether info belongs to a different federation cluster
+// than this cluster-scoped instance. Unscoped instances track everyone.
+func (g *Gossip) foreign(info overlay.NodeInfo) bool {
+	return g.cfg.Cluster != "" && info.Cluster != g.cfg.Cluster
 }
 
 // Config returns the effective configuration (defaults applied).
@@ -280,7 +319,7 @@ func (g *Gossip) OnDigest(fn func(overlay.NodeInfo, monitor.Report)) {
 func (g *Gossip) Seed(peers []overlay.NodeInfo) {
 	now := g.clk.Now()
 	for _, p := range peers {
-		if p.ID == g.node.ID() || p.Addr == "" {
+		if p.ID == g.node.ID() || p.Addr == "" || g.foreign(p) {
 			continue
 		}
 		if _, ok := g.members[p.ID]; ok {
@@ -317,6 +356,14 @@ func (g *Gossip) Start() {
 		g.syncCancel = g.clk.After(g.cfg.SyncInterval, sync)
 	}
 	g.syncCancel = g.clk.After(g.cfg.SyncInterval, sync)
+	if g.cfg.Cluster != "" && len(g.cfg.BorderPeers) > 0 {
+		var summary func()
+		summary = func() {
+			g.summaryRound()
+			g.summaryCancel = g.clk.After(g.cfg.SummaryInterval, summary)
+		}
+		g.summaryCancel = g.clk.After(g.cfg.SummaryInterval, summary)
+	}
 }
 
 // Stop halts the protocol loops. Pending suspicion timers keep running so
@@ -330,6 +377,10 @@ func (g *Gossip) Stop() {
 	if g.syncCancel != nil {
 		g.syncCancel()
 		g.syncCancel = nil
+	}
+	if g.summaryCancel != nil {
+		g.summaryCancel()
+		g.summaryCancel = nil
 	}
 }
 
@@ -804,6 +855,11 @@ func (g *Gossip) applyUpdates(us []update) {
 func (g *Gossip) apply(u update) {
 	if u.Node.ID == g.node.ID() {
 		g.applySelf(u)
+		return
+	}
+	// A cluster-scoped view only tracks its own cluster; other clusters
+	// are known through border summaries, never full membership.
+	if g.foreign(u.Node) {
 		return
 	}
 	m, known := g.members[u.Node.ID]

@@ -36,6 +36,12 @@ var (
 		"rasc_gossip_convergence_rounds",
 		"Protocol rounds from first suspicion to a member's death.",
 		telemetry.LinearBuckets(1, 1, 12))
+	telSummaryExchanges = telemetry.Default().Counter(
+		"rasc_gossip_summary_exchanges_total",
+		"Remote cluster summaries received over the federation boundary.")
+	telSummariesHeld = telemetry.Default().Gauge(
+		"rasc_gossip_summaries_held",
+		"Remote cluster summaries currently held (fresh within TTL).")
 
 	// Pre-resolved handles: probe results sit on the protocol hot path,
 	// and eager registration makes every series visible at 0 on /metrics.

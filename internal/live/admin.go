@@ -53,6 +53,23 @@ func (n *Node) ServeAdmin(addr string) (*AdminServer, error) {
 		return st
 	}))
 	mux.Handle("/debug/rasc/tenants", TenantsHandler(func() *tenant.Gate { return n.Gate }))
+	mux.Handle("/debug/rasc/clusters", ClustersHandler(func() *ClustersStatus {
+		var st *ClustersStatus
+		n.DoSync(func() {
+			if n.Federation == nil {
+				return
+			}
+			st = &ClustersStatus{
+				Cluster:  n.Federation.Cluster(),
+				Local:    n.Gossip.LocalSummary(),
+				Remotes:  n.Gossip.Summaries(),
+				Links:    n.Federation.Ledger().Usage(),
+				Handoffs: n.Federation.Handoffs(),
+				Stats:    n.Federation.Stats(),
+			}
+		})
+		return st
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 
+	"rasc.dev/rasc/internal/federation"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/trace"
@@ -161,6 +163,36 @@ func TenantsHandler(gate func() *tenant.Gate) http.Handler {
 			resp.Hosts = g.Hosts()
 		}
 		writeJSON(w, resp)
+	})
+}
+
+// ClustersStatus is the JSON body of /debug/rasc/clusters: one node's
+// federation posture — its own cluster summary, the remote summaries it
+// holds, boundary-link accounting and committed cross-cluster hand-offs.
+type ClustersStatus struct {
+	Cluster string `json:"cluster"`
+	// Local is the summary this node would advertise across a boundary.
+	Local gossip.ClusterSummary `json:"local"`
+	// Remotes are the fresh (within TTL) remote cluster summaries held.
+	Remotes []gossip.ClusterSummary `json:"remotes,omitempty"`
+	// Links is the boundary ledger's per-link credit/debit accounting.
+	Links []federation.LinkUsage `json:"links,omitempty"`
+	// Handoffs are this node's committed cross-cluster hand-offs.
+	Handoffs []federation.HandoffRef `json:"handoffs,omitempty"`
+	Stats    federation.Stats        `json:"stats"`
+}
+
+// ClustersHandler serves a node's federation posture as indented JSON.
+// status runs per request (wire it through the node's actor loop) and may
+// return nil when federation is off.
+func ClustersHandler(status func() *ClustersStatus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		st := status()
+		if st == nil {
+			http.Error(w, "federation disabled", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, st)
 	})
 }
 

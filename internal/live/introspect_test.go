@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"rasc.dev/rasc/internal/core"
+	"rasc.dev/rasc/internal/federation"
+	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/spec"
 	"rasc.dev/rasc/internal/stream"
@@ -250,6 +252,61 @@ func TestTenantsHandler(t *testing.T) {
 	}
 	if withHosts.Hosts[0].CommittedBps != 5e5 || withHosts.Hosts[0].CapacityBps != 6e5 {
 		t.Fatalf("h1 budget = %+v", withHosts.Hosts[0])
+	}
+}
+
+func TestClustersHandler(t *testing.T) {
+	st := &ClustersStatus{
+		Cluster: "c0",
+		Local: gossip.ClusterSummary{
+			Cluster:        "c0",
+			Version:        4,
+			At:             30 * time.Second,
+			Members:        6,
+			AggAvailInBps:  2.4e6,
+			AggAvailOutBps: 1.8e6,
+			BoundaryBps:    1e8,
+			Services:       []string{"encrypt", "filter"},
+			Border:         overlay.NodeInfo{ID: overlay.ID{1}, Addr: transport.Addr("10.0.0.1:4000"), Cluster: "c0"},
+		},
+		Remotes: []gossip.ClusterSummary{{
+			Cluster:        "c1",
+			Version:        3,
+			At:             28 * time.Second,
+			Members:        6,
+			AggAvailInBps:  3.1e6,
+			AggAvailOutBps: 2.2e6,
+			BoundaryBps:    1e8,
+			Services:       []string{"transcode"},
+			Border:         overlay.NodeInfo{ID: overlay.ID{2}, Addr: transport.Addr("10.0.1.1:4000"), Cluster: "c1"},
+		}},
+		Links: []federation.LinkUsage{
+			{Link: "c0|c1", CapacityBps: 1e8, ReservedBps: 2e5, Credits: 2},
+		},
+		Handoffs: []federation.HandoffRef{{
+			App:           "chain",
+			Substream:     0,
+			RemoteCluster: "c1",
+			RemoteAddr:    transport.Addr("10.0.1.1:4000"),
+			DebitBps:      1e5,
+			LocalCredit:   7,
+			RemoteCredit:  3,
+		}},
+		Stats: federation.Stats{QueriesSent: 2, HandoffsOK: 1, RemoteComposes: 0},
+	}
+	srv := httptest.NewServer(ClustersHandler(func() *ClustersStatus { return st }))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("clusters = %d", code)
+	}
+	checkGolden(t, "clusters.golden", body)
+
+	nilSrv := httptest.NewServer(ClustersHandler(func() *ClustersStatus { return nil }))
+	defer nilSrv.Close()
+	if code, _ := get(t, nilSrv, "/"); code != http.StatusServiceUnavailable {
+		t.Fatalf("federation disabled = %d, want 503", code)
 	}
 }
 

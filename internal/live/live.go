@@ -16,6 +16,7 @@ import (
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/dht"
 	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/federation"
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
@@ -61,6 +62,19 @@ type Config struct {
 	// DisableGossip turns the membership protocol off: lookups go to the
 	// DHT and composition fetches stats per host, as before.
 	DisableGossip bool
+	// Cluster names the federation cluster this node belongs to. Empty
+	// runs the node flat (no federation); set, it scopes gossip to the
+	// cluster, runs a federation coordinator, and serves
+	// /debug/rasc/clusters. Requires gossip.
+	Cluster string
+	// BorderPeers lists remote clusters' border node addresses this node
+	// exchanges cluster summaries with. Only border nodes set it; other
+	// cluster members learn remote clusters through their border.
+	BorderPeers []string
+	// BoundaryBps is the boundary-link capacity this node's ledger grants
+	// toward each remote cluster it learns of (default 100 Mbps). The
+	// effective grant is the minimum of both sides' advertisements.
+	BoundaryBps float64
 	// Gossip tunes the membership protocol (zero value = defaults: 1s
 	// probe period, 300ms probe timeout, 3s suspicion timeout).
 	Gossip gossip.Config
@@ -129,6 +143,9 @@ type Node struct {
 	// Gate is the node's admission gate (nil unless Config.Tenancy
 	// enabled it), served by /debug/rasc/tenants.
 	Gate *tenant.Gate
+	// Federation is the node's coordinator (nil unless Config.Cluster
+	// named one), served by /debug/rasc/clusters.
+	Federation *federation.Coordinator
 
 	// clk is the node's base clock (wall time unless injected), used for
 	// the off-loop waits (join, submit).
@@ -197,6 +214,12 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.RecordTTL <= cfg.RefreshInterval {
 		return nil, fmt.Errorf("live: RecordTTL %v must exceed RefreshInterval %v", cfg.RecordTTL, cfg.RefreshInterval)
 	}
+	if cfg.Cluster != "" && cfg.DisableGossip {
+		return nil, fmt.Errorf("live: federation (Cluster %q) requires gossip", cfg.Cluster)
+	}
+	if cfg.BoundaryBps <= 0 {
+		cfg.BoundaryBps = 1e8
+	}
 	var ep transport.Endpoint
 	var err error
 	if cfg.UDPData {
@@ -260,6 +283,9 @@ func Start(cfg Config) (*Node, error) {
 	joined := make(chan struct{})
 	n.DoSync(func() {
 		n.Overlay = overlay.NewNode(overlay.HashID(name), lep, clk)
+		// Cluster identity rides NodeInfo; set it before the join spreads
+		// this node's info through the overlay.
+		n.Overlay.SetCluster(cfg.Cluster)
 		n.Store = dht.New(n.Overlay, clk)
 		// Registrations age out unless refreshed (StartRefresh below
 		// re-publishes every RefreshInterval), so a crashed node's
@@ -308,7 +334,17 @@ func Start(cfg Config) (*Node, error) {
 			}
 		}
 		if !cfg.DisableGossip {
-			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), cfg.Gossip)
+			gcfg := cfg.Gossip
+			if cfg.Cluster != "" {
+				gcfg.Cluster = cfg.Cluster
+				gcfg.BoundaryBps = cfg.BoundaryBps
+				for _, addr := range cfg.BorderPeers {
+					// The peer's ID is unknown until the first exchange; the
+					// border protocol addresses peers by transport address.
+					gcfg.BorderPeers = append(gcfg.BorderPeers, overlay.NodeInfo{Addr: transport.Addr(addr)})
+				}
+			}
+			n.Gossip = gossip.New(n.Overlay, clk, newLiveRand(name+"/gossip"), gcfg)
 			eng, dir, ov := n.Engine, n.Dir, n.Overlay
 			n.Gossip.SetDigestFunc(func() gossip.Digest {
 				return gossip.Digest{
@@ -341,6 +377,32 @@ func Start(cfg Config) (*Node, error) {
 			})
 			dir.SetView(n.Gossip)
 			eng.SetStatsProvider(n.Gossip.ReportFor)
+			if cfg.Cluster != "" {
+				// Every live node arbiters its own boundary ledger; the
+				// remote side of each hand-off reserves at the border that
+				// serves it, so both endpoints account the debit. Links are
+				// granted as remote clusters introduce themselves through
+				// summaries, at the minimum of both sides' advertisements.
+				led := federation.NewLedger()
+				n.Federation = federation.New(federation.Config{
+					Cluster:      cfg.Cluster,
+					Node:         n.Overlay,
+					Ledger:       led,
+					Summaries:    n.Gossip.Summaries,
+					LocalSummary: n.Gossip.LocalSummary,
+				})
+				n.Engine.SetFederation(n.Federation)
+				n.Gossip.OnSummary(func(s gossip.ClusterSummary) {
+					capBps := cfg.BoundaryBps
+					if s.BoundaryBps > 0 && s.BoundaryBps < capBps {
+						capBps = s.BoundaryBps
+					}
+					led.SetLink(cfg.Cluster, s.Cluster, capBps)
+				})
+				n.Gossip.OnSummaryLost(func(cluster string) {
+					eng.OnRemoteClusterLost(cluster)
+				})
+			}
 		}
 		if cfg.Bootstrap == "" {
 			n.Overlay.Bootstrap()

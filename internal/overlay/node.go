@@ -164,6 +164,11 @@ func (n *Node) HealRoute(key ID, timeout time.Duration, done func()) {
 // Info returns the node's own identity.
 func (n *Node) Info() NodeInfo { return n.info }
 
+// SetCluster stamps the node's federation cluster onto its identity. Call
+// it before Bootstrap/Join so every peer that learns the node also learns
+// its cluster; changing it on a joined node is a configuration error.
+func (n *Node) SetCluster(cluster string) { n.info.Cluster = cluster }
+
 // ID returns the node's overlay identifier.
 func (n *Node) ID() ID { return n.info.ID }
 

@@ -10,6 +10,10 @@ import (
 type NodeInfo struct {
 	ID   ID             `json:"id"`
 	Addr transport.Addr `json:"addr"`
+	// Cluster names the federation cluster the node belongs to. Empty in
+	// flat (non-federated) deployments, so their wire and JSON encodings
+	// are unchanged.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // routingTable is the classic Pastry table: row r holds nodes that share a

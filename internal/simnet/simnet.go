@@ -41,6 +41,11 @@ type Options struct {
 	// other interception layers hook in here. i is the node index; clk is
 	// the cluster's virtual clock, so wrappers schedule on simulated time.
 	WrapEndpoint func(i int, ep transport.Endpoint, clk clock.Clock) transport.Endpoint
+	// ConfigureNode, when set, runs on each node after construction and
+	// before any joins — the hook for pre-join identity such as
+	// overlay.Node.SetCluster, which must be set before the node's info
+	// spreads through the overlay.
+	ConfigureNode func(i int, n *overlay.Node)
 }
 
 // Cluster is a fully joined simulated overlay.
@@ -90,6 +95,9 @@ func New(opts Options) *Cluster {
 		c.NetIDs = append(c.NetIDs, netID)
 		node := overlay.NewNode(id, ep, clk)
 		node.ProximityAware = !opts.ProximityBlind
+		if opts.ConfigureNode != nil {
+			opts.ConfigureNode(i, node)
+		}
 		c.Nodes = append(c.Nodes, node)
 	}
 	c.Nodes[0].Bootstrap()

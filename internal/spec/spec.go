@@ -144,6 +144,11 @@ type Request struct {
 	// consulted by the admission gate and the weighted max-min fairness
 	// allocator when concurrent applications contend for capacity.
 	Priority Priority `json:"priority,omitempty"`
+	// Cluster pins the request to a federation cluster: composition
+	// prefers placements inside it and only hands substreams across a
+	// boundary when the cluster cannot carry them. Empty means "the
+	// origin node's own cluster" (and is a no-op in flat deployments).
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // Validate checks structural sanity.

@@ -9,6 +9,7 @@ import (
 	"rasc.dev/rasc/internal/control"
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/discovery"
+	"rasc.dev/rasc/internal/federation"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/overlay"
 	"rasc.dev/rasc/internal/sched"
@@ -141,6 +142,14 @@ type Engine struct {
 	// per-host RPC fetches. Hosts the provider cannot answer for fall back
 	// to the RPC path.
 	statsProvider func(overlay.ID) (monitor.Report, bool)
+
+	// fed, when set, federates composition: input is scoped to the
+	// engine's cluster, substreams the local cluster cannot place are
+	// handed across a boundary, and the engine composes fragments on
+	// behalf of remote clusters. cluster is the coordinator's cluster
+	// name; empty means a flat (non-federated) deployment.
+	fed     *federation.Coordinator
+	cluster string
 
 	// tracer, when set, records per-unit events.
 	tracer *trace.Buffer

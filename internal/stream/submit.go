@@ -160,7 +160,16 @@ func (e *Engine) buildInput(req spec.Request, hosts map[string][]overlay.NodeInf
 		sort.Slice(cands, func(i, j int) bool { return cands[i].Info.ID.Cmp(cands[j].Info.ID) < 0 })
 		in.Candidates[svc] = cands
 	}
-	return in
+	// Federated deployments compose over the local cluster alone; the
+	// filter is the identity in flat deployments (empty cluster), keeping
+	// their composition bit-identical to the unfederated composer.
+	// Request.Cluster overrides the origin's own cluster (a no-op in flat
+	// deployments, which carry no cluster tags to filter on).
+	cluster := e.cluster
+	if req.Cluster != "" && cluster != "" {
+		cluster = req.Cluster
+	}
+	return core.FilterCluster(in, cluster)
 }
 
 // compose builds the composer input and runs composition, then moves on to
@@ -180,6 +189,20 @@ func (e *Engine) compose(req, desired spec.Request, composer core.Composer, time
 		e.observeSolve(req.ID, st, start, err)
 	}
 	if err != nil {
+		if e.fed != nil && errors.Is(err, core.ErrNoFeasiblePlacement) {
+			// The local cluster cannot carry the request: try to hand the
+			// unplaceable substreams across a boundary. The coordinator
+			// falls back to the original error when no remote cluster
+			// answers, so a flat failure stays a flat failure.
+			e.fed.ComposeFederated(in, composer, err, func(g *core.ExecutionGraph, ferr error) {
+				if ferr != nil {
+					cb(nil, ferr)
+					return
+				}
+				e.instantiate(g, desired, timeout, cb)
+			})
+			return
+		}
 		cb(nil, err)
 		return
 	}
@@ -304,6 +327,12 @@ func (e *Engine) Teardown(g *core.ExecutionGraph, timeout time.Duration) {
 
 // teardown is Teardown without the admission release.
 func (e *Engine) teardown(g *core.ExecutionGraph, timeout time.Duration) {
+	if e.fed != nil {
+		// Refund the request's boundary-link credits (local ledger and
+		// remote clusters); exactly-once even when a failed instantiation
+		// rollback and the final teardown both pass through here.
+		e.fed.ReleaseApp(g.Request.ID)
+	}
 	e.StopRequest(g.Request.ID)
 	body, _ := json.Marshal(teardownMsg{Req: g.Request.ID})
 	sent := make(map[overlay.ID]bool)

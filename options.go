@@ -3,6 +3,7 @@ package rasc
 import (
 	"fmt"
 
+	"rasc.dev/rasc/internal/deploy"
 	"rasc.dev/rasc/internal/stream"
 	"rasc.dev/rasc/internal/tenant"
 	"rasc.dev/rasc/internal/transport"
@@ -116,6 +117,30 @@ func DefaultDataPlane() DataPlaneConfig { return stream.DefaultDataPlane() }
 // Composition.Throughput.
 func WithDataPlane(cfg DataPlaneConfig) Option {
 	return func(o *Options) { o.DataPlane = &cfg }
+}
+
+// FederationConfig shards the deployment into federated clusters:
+// Clusters is the cluster count (1 = federated but alone, pinned
+// bit-identical to the flat composer), BorderPeers how many nodes per
+// cluster exchange boundary summaries, BoundaryBps each inter-cluster
+// boundary link's capacity, and ClusterServices optionally restricts
+// cluster k's service announcements to ClusterServices[k mod len] — the
+// lever that forces cross-cluster hand-offs.
+type FederationConfig = deploy.FederationOptions
+
+// WithFederation shards the deployment into federated clusters, each
+// running its own composer over gossip-fresh local state. Full monitoring
+// digests stay intra-cluster; border nodes exchange compact cluster
+// summaries (aggregate headroom, boundary capacity, exported services).
+// When a cluster cannot place a request locally, its coordinator
+// discovers candidate clusters from the summaries, hands substreams off
+// across the boundary, and stitches the per-cluster execution graphs —
+// reserving boundary-link capacity on both sides' ledgers and falling
+// back to the local-only answer when no remote replies. Implies
+// WithGossip; set Request.Cluster to pin a request to one cluster's
+// composer regardless of the submitting node.
+func WithFederation(cfg FederationConfig) Option {
+	return func(o *Options) { o.Federation = &cfg }
 }
 
 // WithChaos wraps every node's transport endpoint with seeded fault

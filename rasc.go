@@ -29,6 +29,7 @@ import (
 	"rasc.dev/rasc/internal/core"
 	"rasc.dev/rasc/internal/deploy"
 	"rasc.dev/rasc/internal/experiment"
+	"rasc.dev/rasc/internal/federation"
 	"rasc.dev/rasc/internal/gossip"
 	"rasc.dev/rasc/internal/monitor"
 	"rasc.dev/rasc/internal/netsim"
@@ -115,6 +116,10 @@ type Options struct {
 	// DataPlane, when set, enables the batched, sharded data plane on
 	// every node (see WithDataPlane).
 	DataPlane *DataPlaneConfig
+	// Federation, when set, shards the deployment into federated
+	// clusters joined by the boundary protocol (see WithFederation).
+	// Implies EnableGossip.
+	Federation *FederationConfig
 }
 
 // System is a running simulated RASC deployment.
@@ -142,11 +147,19 @@ func newSystem(opts Options) *System {
 	if opts.MaxBps == 0 {
 		opts.MaxBps = 1.2e6
 	}
-	topo := netsim.PlanetLabTopology(netsim.TopologyConfig{
+	tc := netsim.TopologyConfig{
 		Nodes:  opts.Nodes,
 		MinBps: opts.MinBps,
 		MaxBps: opts.MaxBps,
-	}, opts.Seed)
+	}
+	// A multi-cluster federation maps clusters onto topology sites, so the
+	// wide-area (inter-site) latency distribution is exactly the
+	// inter-cluster one. A single cluster keeps the default site layout —
+	// part of the bit-identical pin against flat deployments.
+	if opts.Federation != nil && opts.Federation.Clusters > 1 {
+		tc.Sites = opts.Federation.Clusters
+	}
+	topo := netsim.PlanetLabTopology(tc, opts.Seed)
 	var dataPlane stream.DataPlaneConfig
 	if opts.DataPlane != nil {
 		dataPlane = *opts.DataPlane
@@ -167,6 +180,7 @@ func newSystem(opts Options) *System {
 		Adaptation:       opts.Adaptation,
 		Tenancy:          opts.Tenancy,
 		DataPlane:        dataPlane,
+		Federation:       opts.Federation,
 		// The default 300ms probe timeout sits below the topology's worst
 		// inter-site RTT (~330ms); 500ms keeps healthy members from being
 		// falsely suspected.
@@ -387,6 +401,43 @@ func (s *System) Membership(i int) (MembershipSummary, bool) {
 		return MembershipSummary{}, false
 	}
 	return s.d.Gossip[i].Summary(), true
+}
+
+// ClusterOf returns the federation cluster node i belongs to; empty in
+// deployments built without WithFederation.
+func (s *System) ClusterOf(i int) string {
+	if s.d.ClusterOf == nil {
+		return ""
+	}
+	return s.d.ClusterOf[i]
+}
+
+// HandoffRef identifies one committed cross-cluster hand-off: the
+// application, the substream index, and the remote cluster carrying it.
+type HandoffRef = federation.HandoffRef
+
+// Handoffs returns the cross-cluster hand-offs node i's federation
+// coordinator currently holds committed. The second result is false when
+// the deployment runs without WithFederation.
+func (s *System) Handoffs(i int) ([]HandoffRef, bool) {
+	if s.d.Federation == nil || s.d.Federation[i] == nil {
+		return nil, false
+	}
+	return s.d.Federation[i].Handoffs(), true
+}
+
+// LinkUsage is one boundary link's credit/debit accounting: capacity,
+// reserved bandwidth and live credits.
+type LinkUsage = federation.LinkUsage
+
+// BoundaryLinks returns cluster k's boundary-ledger accounting, one entry
+// per boundary link touching it. The second result is false when the
+// deployment runs without WithFederation.
+func (s *System) BoundaryLinks(k int) ([]LinkUsage, bool) {
+	if s.d.Ledgers == nil || k < 0 || k >= len(s.d.Ledgers) {
+		return nil, false
+	}
+	return s.d.Ledgers[k].Usage(), true
 }
 
 // TraceBuffer records per-unit events (emit/arrive/process/forward/drop/
